@@ -1,0 +1,167 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table II, Figures 10-13), runs the ablation benches from
+   DESIGN.md, and measures real wall-clock of one representative cell per
+   table/figure with Bechamel.
+
+   Usage: dune exec bench/main.exe            (full run, ~10 minutes)
+          BENCH_QUICK=1 dune exec bench/main.exe   (reduced sizes) *)
+
+open Spdistal_workloads
+open Spdistal_experiments
+
+let quick =
+  match Sys.getenv_opt "BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure, timing   *)
+(* the real execution of one representative cell.                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_tests () =
+  let open Bechamel in
+  let matrix =
+    lazy
+      (Synth.power_law ~name:"bench-matrix" ~rows:4_000 ~cols:4_000 ~nnz:80_000
+         ~alpha:1.0 ~seed:99)
+  in
+  let tensor =
+    lazy
+      (Synth.tensor3_uniform ~name:"bench-tensor" ~dims:[| 500; 400; 200 |]
+         ~nnz:40_000 ~seed:98)
+  in
+  let banded = lazy (Synth.banded ~name:"bench-banded" ~n:20_000 ~band:14) in
+  let cell kernel machine b () =
+    ignore (Runner.run ~kernel ~system:Runner.Spdistal ~machine b)
+  in
+  [
+    (* Table II: dataset analog construction. *)
+    Test.make ~name:"table2/dataset-construction"
+      (Staged.stage (fun () ->
+           ignore
+             (Synth.power_law ~name:"t2" ~rows:2_000 ~cols:2_000 ~nnz:30_000
+                ~alpha:1.0 ~seed:1)));
+    (* Fig. 10: one CPU strong-scaling cell (SpMV, 4 nodes). *)
+    Test.make ~name:"fig10/spmv-cpu-4nodes"
+      (Staged.stage (cell Runner.Spmv (Runner.cpu_machine ~nodes:4) (Lazy.force matrix)));
+    (* Fig. 11: one GPU heatmap cell (SpMM, 4 GPUs). *)
+    Test.make ~name:"fig11/spmm-gpu-4gpus"
+      (Staged.stage (cell Runner.Spmm (Runner.gpu_machine ~gpus:4) (Lazy.force matrix)));
+    (* Fig. 12: one GPU-vs-CPU cell (SpTTV, 4 GPUs). *)
+    Test.make ~name:"fig12/spttv-gpu-4gpus"
+      (Staged.stage (cell Runner.Spttv (Runner.gpu_machine ~gpus:4) (Lazy.force tensor)));
+    (* Fig. 13: one weak-scaling step (banded SpMV, 8 nodes). *)
+    Test.make ~name:"fig13/spmv-weak-8nodes"
+      (Staged.stage (cell Runner.Spmv (Runner.cpu_machine ~nodes:8) (Lazy.force banded)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let tests = bench_tests () in
+  print_endline
+    "=== Bechamel wall-clock micro-benchmarks (one per table/figure) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-36s %12.3f us/run\n%!" name (t /. 1e3)
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+        results)
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure reproductions (simulated time; real numerics).               *)
+(* ------------------------------------------------------------------ *)
+
+let section title f =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "\n";
+  f ();
+  Printf.printf "[%s took %.1fs]\n%!" title (Unix.gettimeofday () -. t0)
+
+let () =
+  Printf.printf "SpDISTAL reproduction benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  Printf.printf
+    "machine model: Lassen scaled %.0fx (see DESIGN.md); datasets: Table II \
+     analogs\n\n"
+    Datasets.scale;
+
+  run_bechamel ();
+
+  section "table2" (fun () -> Format.printf "%a@." Datasets.pp_table2 ());
+
+  let c10 = ref [] and c11 = ref [] and c12 = ref [] and c13 = ref [] in
+  section "fig10" (fun () ->
+      let cells = Fig10.compute ~quick () in
+      c10 := cells;
+      Format.printf "%a@." Fig10.print cells;
+      (* Paper-vs-measured summary (medians the paper quotes in §VI-A1). *)
+      let paper =
+        [
+          (Runner.Spmv, Runner.Petsc, 1.8);
+          (Runner.Spmv, Runner.Trilinos, 1.2);
+          (Runner.Spmv, Runner.Ctf, 299.);
+          (Runner.Spmm, Runner.Petsc, 2.01);
+          (Runner.Spmm, Runner.Trilinos, 3.8);
+          (Runner.Spadd3, Runner.Petsc, 11.8);
+          (Runner.Spadd3, Runner.Trilinos, 38.5);
+          (Runner.Spadd3, Runner.Ctf, 19.2);
+          (Runner.Sddmm, Runner.Ctf, 15.3);
+          (Runner.Spttv, Runner.Ctf, 161.);
+          (Runner.Mttkrp, Runner.Ctf, 1.03);
+        ]
+      in
+      Format.printf "@.paper-vs-measured medians (SpDISTAL speedup over system):@.";
+      List.iter
+        (fun (k, s, p) ->
+          match Fig10.median_speedup cells ~kernel:k ~vs:s with
+          | Some m ->
+              Format.printf "  %-9s vs %-9s paper %7.2fx   measured %7.2fx@."
+                (Runner.kernel_name k) (Runner.system_name s) p m
+          | None -> ())
+        paper);
+
+  section "fig11" (fun () ->
+      let cells = Fig11.compute ~quick () in
+      c11 := cells;
+      Format.printf "%a@." Fig11.print cells);
+
+  section "fig12" (fun () ->
+      let cells = Fig12.compute ~quick () in
+      c12 := cells;
+      Format.printf "%a@." Fig12.print cells;
+      List.iter
+        (fun (k, p) ->
+          match Fig12.median_gpu_speedup cells ~kernel:k with
+          | Some m ->
+              Format.printf "%s: paper median GPU speedup %.1fx, measured %.2fx@."
+                (Runner.kernel_name k) p m
+          | None -> ())
+        [ (Runner.Spttv, 2.0); (Runner.Mttkrp, 2.2) ]);
+
+  section "fig13" (fun () ->
+      let points = Fig13.compute ~quick () in
+      c13 := points;
+      Format.printf "%a@." Fig13.print points);
+
+  section "ablations" (fun () -> Format.printf "%a@." Ablations.run_all ());
+
+  let paths =
+    Csv.write_all ~dir:"results" ~fig10:!c10 ~fig11:!c11 ~fig12:!c12 ~fig13:!c13
+  in
+  Printf.printf "\nCSV series written: %s\n" (String.concat ", " paths);
+  print_endline "All tables and figures regenerated. See EXPERIMENTS.md for";
+  print_endline "the paper-vs-measured record."

@@ -1,0 +1,172 @@
+(* spdistal: command-line driver.
+
+   Subcommands:
+     run      -- run one kernel on one dataset/system/machine cell
+     show     -- print the compiled partitioning plan for a kernel
+     table2   -- print the dataset inventory (paper Table II)
+     fig10 | fig11 | fig12 | fig13 -- regenerate an evaluation figure
+     datasets -- list the dataset analogs *)
+
+open Cmdliner
+open Spdistal_runtime
+open Spdistal_workloads
+open Spdistal_experiments
+
+let kernel_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "spmv" -> Ok Runner.Spmv
+    | "spmm" -> Ok Runner.Spmm
+    | "spadd3" -> Ok Runner.Spadd3
+    | "sddmm" -> Ok Runner.Sddmm
+    | "spttv" -> Ok Runner.Spttv
+    | "mttkrp" | "spmttkrp" -> Ok Runner.Mttkrp
+    | _ -> Error (`Msg (Printf.sprintf "unknown kernel %s" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.fprintf fmt "%s" (Runner.kernel_name k))
+
+let system_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "spdistal" -> Ok Runner.Spdistal
+    | "spdistal-batched" | "batched" -> Ok Runner.Spdistal_batched
+    | "petsc" -> Ok Runner.Petsc
+    | "trilinos" -> Ok Runner.Trilinos
+    | "ctf" -> Ok Runner.Ctf
+    | _ -> Error (`Msg (Printf.sprintf "unknown system %s" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.fprintf fmt "%s" (Runner.system_name s))
+
+let kernel_arg =
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt string "uk-2005"
+    & info [ "d"; "dataset" ] ~docv:"NAME" ~doc:"Table II dataset analog")
+
+let system_arg =
+  Arg.(
+    value
+    & opt system_conv Runner.Spdistal
+    & info [ "s"; "system" ] ~doc:"System: spdistal, spdistal-batched, petsc, trilinos, ctf")
+
+let pieces_arg =
+  Arg.(value & opt int 4 & info [ "n"; "pieces" ] ~doc:"Nodes (CPU) or GPUs")
+
+let gpu_arg = Arg.(value & opt bool false & info [ "gpu" ] ~doc:"Use a GPU machine")
+let cols_arg = Arg.(value & opt int 32 & info [ "cols" ] ~doc:"Dense width")
+
+let load_dataset name =
+  let e = Datasets.find name in
+  e.Datasets.load ()
+
+let run_cmd =
+  let f kernel dataset system pieces gpu cols =
+    let b = load_dataset dataset in
+    let machine =
+      if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
+    in
+    let r = Runner.run ~kernel ~system ~machine ~cols b in
+    (match r.Spdistal_baselines.Common.dnc with
+    | Some reason -> Printf.printf "DNC: %s\n" reason
+    | None ->
+        Printf.printf "%s on %s, %s, %d %s: %.3f ms\n"
+          (Runner.kernel_name kernel) dataset (Runner.system_name system) pieces
+          (if gpu then "GPU(s)" else "node(s)")
+          (1000. *. r.Spdistal_baselines.Common.time));
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
+    Term.(const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg $ cols_arg)
+
+let show_cmd =
+  let f kernel dataset pieces gpu cols =
+    let b = load_dataset dataset in
+    let machine =
+      if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
+    in
+    let gpu_kind = machine.Machine.kind = Machine.Gpu in
+    let problem =
+      match kernel with
+      | Runner.Spmv -> Core.Kernels.spmv_problem ~machine b
+      | Runner.Spmm -> Core.Kernels.spmm_problem ~machine ~cols ~nonzero_dist:gpu_kind b
+      | Runner.Spadd3 -> Core.Kernels.spadd3_problem ~machine b
+      | Runner.Sddmm -> Core.Kernels.sddmm_problem ~machine ~cols b
+      | Runner.Spttv -> Core.Kernels.spttv_problem ~machine ~nonzero_dist:gpu_kind b
+      | Runner.Mttkrp -> Core.Kernels.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu_kind b
+    in
+    print_endline (Core.Spdistal.show problem);
+    0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the compiled partitioning plan (cf. paper Fig. 9b)")
+    Term.(const f $ kernel_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg)
+
+let table2_cmd =
+  let f () =
+    Format.printf "%a@." Datasets.pp_table2 ();
+    0
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Print the dataset inventory (paper Table II)")
+    Term.(const f $ const ())
+
+let datasets_cmd =
+  let f () =
+    List.iter
+      (fun (e : Datasets.entry) -> Printf.printf "%s\n" e.Datasets.ds_name)
+      Datasets.all;
+    0
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List dataset analog names") Term.(const f $ const ())
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced tensors and machine sizes")
+
+let fig_cmd name doc compute print =
+  let f quick =
+    let cells = compute ~quick () in
+    Format.printf "%a@." print cells;
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_arg)
+
+let fig10_cmd =
+  fig_cmd "fig10" "CPU strong scaling (paper Fig. 10)"
+    (fun ~quick () -> Fig10.compute ~quick ())
+    Fig10.print
+
+let fig11_cmd =
+  fig_cmd "fig11" "GPU strong scaling heatmaps (paper Fig. 11)"
+    (fun ~quick () -> Fig11.compute ~quick ())
+    Fig11.print
+
+let fig12_cmd =
+  fig_cmd "fig12" "GPU vs CPU heatmaps (paper Fig. 12)"
+    (fun ~quick () -> Fig12.compute ~quick ())
+    Fig12.print
+
+let fig13_cmd =
+  fig_cmd "fig13" "SpMV weak scaling (paper Fig. 13)"
+    (fun ~quick () -> Fig13.compute ~quick ())
+    Fig13.print
+
+let ablations_cmd =
+  let f () =
+    Format.printf "%a@." Spdistal_experiments.Ablations.run_all ();
+    0
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Run the DESIGN.md ablation benches")
+    Term.(const f $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "spdistal" ~version:"1.0.0"
+       ~doc:"SpDISTAL reproduction: distributed sparse tensor algebra compiler")
+    [
+      run_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd; fig11_cmd;
+      fig12_cmd; fig13_cmd; ablations_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Coo Core Cost Dense Float Machine Operand Printf Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Spdistal_workloads Sys Tdn Tensor Tin

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Cost Dense Format Machine Operand Printf Schedule Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Spdistal_workloads Sys Tdn Tin Validate

@@ -1,0 +1,1 @@
+examples/spmm_gpu.ml: Array Core Cost Machine Operand Printf Spdistal_baselines Spdistal_exec Spdistal_formats Spdistal_runtime Spdistal_workloads

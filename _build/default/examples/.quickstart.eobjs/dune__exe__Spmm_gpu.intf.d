@@ -1,0 +1,1 @@
+examples/spmm_gpu.mli:

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Assemble Dense Float Hashtbl Level List Machine Region Spdistal_formats Spdistal_runtime Tensor

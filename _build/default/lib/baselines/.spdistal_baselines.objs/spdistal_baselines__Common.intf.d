@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Dense Machine Spdistal_formats Spdistal_runtime Tensor

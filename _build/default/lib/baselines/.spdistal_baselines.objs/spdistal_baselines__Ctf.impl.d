@@ -1,0 +1,1 @@
+lib/baselines/ctf.ml: Array Common Dense Float Level Machine Printf Spdistal_formats Spdistal_runtime Tensor

@@ -1,0 +1,1 @@
+lib/baselines/trilinos.ml: Array Common Dense Float Machine Spdistal_formats Spdistal_runtime Tensor

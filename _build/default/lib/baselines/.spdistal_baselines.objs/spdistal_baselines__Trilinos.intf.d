@@ -1,0 +1,1 @@
+lib/baselines/trilinos.mli: Common Dense Machine Spdistal_formats Spdistal_runtime Tensor

@@ -1,0 +1,231 @@
+open Spdistal_runtime
+open Spdistal_formats
+
+type result = { time : float; dnc : string option }
+
+let ok time = { time; dnc = None }
+let dnc reason = { time = infinity; dnc = Some reason }
+
+(* Row range [lo, hi) of block [b] out of [blocks] over [rows]. *)
+let block_range rows blocks b =
+  (b * rows / blocks, (b + 1) * rows / blocks)
+
+let row_block_nnz (t : Tensor.t) ~blocks =
+  if Tensor.order t < 2 then invalid_arg "Common.row_block_nnz";
+  let rows = t.Tensor.dims.(0) in
+  let counts = Array.make blocks 0 in
+  (* Count stored leaf values per row by walking level-0 position spans.
+     For (Dense, Compressed, ...) tensors, a row's leaf count is the extent
+     difference across the level-1 pos entries it owns; recurse generically
+     by walking each level's pos. *)
+  (* Count leaves under the position range [plo..phi] of level [lvl]. *)
+  let rec count_below lvl plo phi =
+    if lvl >= Tensor.order t then phi - plo + 1
+    else
+      match t.Tensor.levels.(lvl) with
+      | Level.Dense { dim } ->
+          count_below (lvl + 1) (plo * dim) (((phi + 1) * dim) - 1)
+      | Level.Compressed { pos; _ } ->
+          let l1, _ = Region.get pos plo and _, h2 = Region.get pos phi in
+          if h2 < l1 then 0 else count_below (lvl + 1) l1 h2
+      | Level.Singleton _ -> count_below (lvl + 1) plo phi
+  in
+  let row_leaf_count =
+    match t.Tensor.levels.(1) with
+    | Level.Compressed { pos; _ } ->
+        fun r ->
+          let lo, hi = Region.get pos r in
+          if hi < lo then 0 else count_below 2 lo hi
+    | Level.Singleton _ -> fun r -> count_below 2 r r
+    | Level.Dense _ ->
+        (* Dense second level (e.g. "patents"): uniform per row. *)
+        let per_row = Tensor.nnz t / max 1 t.Tensor.dims.(0) in
+        fun _ -> per_row
+  in
+  for r = 0 to rows - 1 do
+    let b = min (blocks - 1) (r * blocks / rows) in
+    counts.(b) <- counts.(b) + row_leaf_count r
+  done;
+  counts
+
+let fiber_block_nnz (t : Tensor.t) ~blocks =
+  if Tensor.order t < 3 then invalid_arg "Common.fiber_block_nnz";
+  let fibers = Tensor.level_extent t 1 in
+  let counts = Array.make blocks 0 in
+  let leaf_count =
+    match t.Tensor.levels.(2) with
+    | Level.Compressed { pos; _ } ->
+        fun f ->
+          let lo, hi = Region.get pos f in
+          if hi < lo then 0 else hi - lo + 1
+    | Level.Dense { dim } -> fun _ -> dim
+    | Level.Singleton _ -> fun _ -> 1
+  in
+  for f = 0 to fibers - 1 do
+    let b = min (blocks - 1) (f * blocks / fibers) in
+    counts.(b) <- counts.(b) + leaf_count f
+  done;
+  counts
+
+let row_block_ghosts (t : Tensor.t) ~blocks =
+  if Tensor.order t <> 2 then invalid_arg "Common.row_block_ghosts";
+  let rows = t.Tensor.dims.(0) and cols = t.Tensor.dims.(1) in
+  let pos = (Tensor.pos_of t 1).Region.data in
+  let crd = (Tensor.crd_of t 1).Region.data in
+  let ghosts = Array.make blocks 0 in
+  for b = 0 to blocks - 1 do
+    let rlo, rhi = block_range rows blocks b in
+    let clo, chi = block_range cols blocks b in
+    let seen = Hashtbl.create 64 in
+    for r = rlo to rhi - 1 do
+      let lo, hi = pos.(r) in
+      for p = lo to hi do
+        let c = crd.(p) in
+        if (c < clo || c >= chi) && not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          ghosts.(b) <- ghosts.(b) + 1
+        end
+      done
+    done
+  done;
+  ghosts
+
+(* The scaled analogs are ~4x denser than the originals (dimension scale
+   cannot match non-zero scale), so a row block touches a ~4x larger
+   fraction of the vector universe than at full size.  Ghost/Import volumes
+   are corrected by this factor to keep communication-to-compute ratios
+   faithful. *)
+let ghost_density_correction = 0.25
+
+let share_time machine ~den ~flops ~bytes =
+  let den = float_of_int den in
+  let rate, bw =
+    match machine.Machine.kind with
+    | Machine.Cpu ->
+        (machine.Machine.params.cpu_flops /. den, machine.Machine.params.cpu_mem_bw /. den)
+    | Machine.Gpu ->
+        (machine.Machine.params.gpu_flops /. den, machine.Machine.params.gpu_mem_bw /. den)
+  in
+  Float.max (flops /. rate) (bytes /. bw)
+
+(* --- sequential kernels ------------------------------------------------ *)
+
+let seq_spmv (b : Tensor.t) (x : Dense.vec) (y : Dense.vec) =
+  let pos = (Tensor.pos_of b 1).Region.data in
+  let crd = (Tensor.crd_of b 1).Region.data in
+  let vals = b.Tensor.vals.Region.data in
+  let xd = x.Dense.data and yd = y.Dense.data in
+  for r = 0 to b.Tensor.dims.(0) - 1 do
+    let lo, hi = pos.(r) in
+    let acc = ref 0. in
+    for p = lo to hi do
+      acc := !acc +. (vals.(p) *. xd.(crd.(p)))
+    done;
+    yd.(r) <- yd.(r) +. !acc
+  done
+
+let seq_spmm (b : Tensor.t) (c : Dense.mat) (a : Dense.mat) =
+  let pos = (Tensor.pos_of b 1).Region.data in
+  let crd = (Tensor.crd_of b 1).Region.data in
+  let vals = b.Tensor.vals.Region.data in
+  let cols = c.Dense.cols in
+  for r = 0 to b.Tensor.dims.(0) - 1 do
+    let lo, hi = pos.(r) in
+    for p = lo to hi do
+      let k = crd.(p) and v = vals.(p) in
+      for j = 0 to cols - 1 do
+        a.Dense.data.((r * cols) + j) <-
+          a.Dense.data.((r * cols) + j) +. (v *. c.Dense.data.((k * cols) + j))
+      done
+    done
+  done
+
+let seq_add3 ~name (b : Tensor.t) (c : Tensor.t) (d : Tensor.t) =
+  let rows = b.Tensor.dims.(0) and cols = b.Tensor.dims.(1) in
+  let ops =
+    List.map
+      (fun (t : Tensor.t) ->
+        ((Tensor.pos_of t 1).Region.data, (Tensor.crd_of t 1).Region.data, t.Tensor.vals.Region.data))
+      [ b; c; d ]
+  in
+  let merge_row r emit =
+    let cursors =
+      List.map
+        (fun (pos, crd, vals) ->
+          let lo, hi = pos.(r) in
+          (ref lo, hi, crd, vals))
+        ops
+    in
+    let rec step () =
+      let mincol =
+        List.fold_left
+          (fun m (i, hi, crd, _) -> if !i <= hi then min m crd.(!i) else m)
+          max_int cursors
+      in
+      if mincol < max_int then begin
+        let sum = ref 0. in
+        List.iter
+          (fun (i, hi, crd, vals) ->
+            while !i <= hi && crd.(!i) = mincol do
+              sum := !sum +. vals.(!i);
+              incr i
+            done)
+          cursors;
+        emit mincol !sum;
+        step ()
+      end
+    in
+    step ()
+  in
+  let counts = Array.make rows 0 in
+  for r = 0 to rows - 1 do
+    merge_row r (fun _ _ -> counts.(r) <- counts.(r) + 1)
+  done;
+  let st = Assemble.stage ~rows ~count:(fun r -> counts.(r)) in
+  Assemble.fill st
+    ~row_fill:(fun r emit -> merge_row r emit)
+    ~name ~dims:[| rows; cols |]
+
+let seq_sddmm (b : Tensor.t) (c : Dense.mat) (d : Dense.mat) (a : Tensor.t) =
+  let pos = (Tensor.pos_of b 1).Region.data in
+  let crd = (Tensor.crd_of b 1).Region.data in
+  let vals = b.Tensor.vals.Region.data in
+  let av = a.Tensor.vals.Region.data in
+  let kk = c.Dense.cols in
+  for r = 0 to b.Tensor.dims.(0) - 1 do
+    let lo, hi = pos.(r) in
+    for p = lo to hi do
+      let j = crd.(p) in
+      let acc = ref 0. in
+      for k = 0 to kk - 1 do
+        acc := !acc +. (c.Dense.data.((r * kk) + k) *. d.Dense.data.((k * d.Dense.cols) + j))
+      done;
+      av.(p) <- av.(p) +. (vals.(p) *. !acc)
+    done
+  done
+
+let seq_spttv (b : Tensor.t) (c : Dense.vec) (a : Tensor.t) =
+  (* b is (Dense, Compressed, Compressed); a shares the first two levels. *)
+  let pos2 = (Tensor.pos_of b 2).Region.data in
+  let crd2 = (Tensor.crd_of b 2).Region.data in
+  let vals = b.Tensor.vals.Region.data in
+  let av = a.Tensor.vals.Region.data in
+  let cd = c.Dense.data in
+  for q = 0 to Array.length pos2 - 1 do
+    let lo, hi = pos2.(q) in
+    let acc = ref 0. in
+    for p = lo to hi do
+      acc := !acc +. (vals.(p) *. cd.(crd2.(p)))
+    done;
+    av.(q) <- av.(q) +. !acc
+  done
+
+let seq_mttkrp (b : Tensor.t) (c : Dense.mat) (d : Dense.mat) (a : Dense.mat) =
+  let cols = a.Dense.cols in
+  Tensor.iter_nnz b (fun coords _ v ->
+      let i = coords.(0) and j = coords.(1) and k = coords.(2) in
+      for l = 0 to cols - 1 do
+        a.Dense.data.((i * cols) + l) <-
+          a.Dense.data.((i * cols) + l)
+          +. (v *. c.Dense.data.((j * cols) + l) *. d.Dense.data.((k * cols) + l))
+      done)

@@ -1,0 +1,56 @@
+(** Shared machinery for the baseline systems (PETSc, Trilinos, CTF).
+
+    Baselines compute {e real numeric results} with straightforward
+    sequential kernels (so tests can cross-check every system against
+    SpDISTAL and the dense reference) and price their execution with their
+    own characteristic algorithm profile against the same {!Machine}
+    parameters.  Overheads that represent per-element CPU work are expressed
+    as {e flop-equivalents} so that machine scaling (see
+    [Machine.scale_params]) applies to them uniformly. *)
+
+open Spdistal_runtime
+open Spdistal_formats
+
+type result = { time : float; dnc : string option }
+
+val ok : float -> result
+val dnc : string -> result
+
+(** {1 Distribution analysis} *)
+
+(** Non-zeros per contiguous row block when [rows] are split into [blocks]
+    equal row ranges (the default layout of all three systems). *)
+val row_block_nnz : Tensor.t -> blocks:int -> int array
+
+(** Like {!row_block_nnz} but at fiber granularity (level-1 positions):
+    the distribution unit of cyclic layouts over higher-order tensors, where
+    a tiny first mode (e.g. "patents", 46 slices) cannot feed hundreds of
+    ranks. *)
+val fiber_block_nnz : Tensor.t -> blocks:int -> int array
+
+(** Per-block ghost entries: distinct column coordinates referenced by the
+    block's rows that fall outside the block's own column slice (the
+    VecScatter / Import footprint). *)
+val row_block_ghosts : Tensor.t -> blocks:int -> int array
+
+(** Correction for the analogs' inflated density (see implementation). *)
+val ghost_density_correction : float
+
+(** {1 Roofline helpers} *)
+
+(** Time of [flops]/[bytes] on an [1/den]-th share of a piece. *)
+val share_time : Machine.t -> den:int -> flops:float -> bytes:float -> float
+
+(** {1 Sequential reference kernels (real numerics)} *)
+
+val seq_spmv : Tensor.t -> Dense.vec -> Dense.vec -> unit
+val seq_spmm : Tensor.t -> Dense.mat -> Dense.mat -> unit
+
+(** 3-way CSR addition; returns the assembled result. *)
+val seq_add3 : name:string -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+
+(** [seq_sddmm b c d a] writes into [a]'s values (pattern shared with [b]). *)
+val seq_sddmm : Tensor.t -> Dense.mat -> Dense.mat -> Tensor.t -> unit
+
+val seq_spttv : Tensor.t -> Dense.vec -> Tensor.t -> unit
+val seq_mttkrp : Tensor.t -> Dense.mat -> Dense.mat -> Dense.mat -> unit

@@ -1,0 +1,244 @@
+open Spdistal_runtime
+open Spdistal_formats
+
+(* ------------------------------------------------------------------ *)
+(* Calibration constants.  All per-element overheads are expressed in
+   flop-equivalents (flops at the machine's nominal rate) so machine
+   scaling applies to them uniformly; each is annotated with the paper
+   observation it reproduces.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Generic interpreted contraction, per sparse element (~20 ns/elt at
+   1 Tflop/s): index arithmetic, virtualized dispatch, summation buffers.
+   Target: 299x median on SpMV (paper Fig. 10a). *)
+let interp_spmv_flops = 6_500.
+
+(* Same path on 3-tensor times vector (sorting included).  Target: 161x
+   median (Fig. 10e). *)
+let interp_spttv_flops = 3_500.
+
+(* Interpreted SpMM does real blocked dense work per element and column.
+   Target: tens-of-x slowdown (Fig. 10b). *)
+let interp_spmm_flops_per_col = 500.
+
+(* Pairwise interpreted sparse summation.  Target: 19.2x on SpAdd3
+   (Fig. 10c). *)
+let interp_add_flops = 300.
+
+(* Hand-written special kernels (Zhang et al. [31]).  SDDMM target: 15.3x
+   median (Fig. 10d); MTTKRP target: parity (Fig. 10f). *)
+let special_sddmm_flops = 13_000.
+let special_mttkrp_flops = 0.
+
+(* Element cost of redistribution-side sorting into cyclic layouts. *)
+let sort_flops = 6_000.
+
+(* CTF's blocked layout advantage on tensors with dense modes ("patents"):
+   the paper observes CTF completing MTTKRP on patents significantly faster
+   than on much smaller tensors. *)
+let dense_mode_bonus = 0.6
+
+let has_dense_second_level (t : Tensor.t) =
+  Array.length t.Tensor.levels > 1
+  &&
+  match t.Tensor.levels.(1) with
+  | Level.Dense _ -> true
+  | Level.Compressed _ | Level.Singleton _ -> false
+
+let ranks machine = Machine.pieces machine * machine.Machine.params.cpu_cores
+
+let log2f n = log (float_of_int (max 2 n)) /. log 2.
+
+let require_cpu machine =
+  match machine.Machine.kind with
+  | Machine.Cpu -> ()
+  | Machine.Gpu -> invalid_arg "Ctf: no usable GPU backend (paper §VI)"
+
+(* All-to-all redistribution of [bytes] into a cyclic layout: the data
+   crosses the network twice (pack + place), nodes participate in
+   parallel. *)
+let redistribute machine bytes =
+  let nodes = Machine.nodes machine in
+  if nodes = 1 then bytes *. 2. /. machine.Machine.params.cpu_mem_bw
+  else
+    (2. *. machine.Machine.params.net_alpha *. log2f nodes)
+    +. (2. *. bytes /. (machine.Machine.params.net_bw *. float_of_int nodes))
+
+(* Rank-granular static imbalance: max per-rank element count at one-core
+   throughput, in flop-equivalents per element. *)
+let imbalanced_time machine counts ~flops_per_elt ~bytes_per_elt =
+  Array.fold_left
+    (fun acc n ->
+      Float.max acc
+        (Common.share_time machine ~den:machine.Machine.params.cpu_cores
+           ~flops:(flops_per_elt *. float_of_int n)
+           ~bytes:(bytes_per_elt *. float_of_int n)))
+    0. counts
+
+let barrier machine =
+  machine.Machine.params.barrier_alpha *. log2f (ranks machine)
+
+let node_mem machine = machine.Machine.params.node_mem
+let nodesf machine = float_of_int (Machine.nodes machine)
+
+(* Working set of a generic contraction: input + redistribution source and
+   destination buffers, plus dense padding when CTF blocks a dense-mode
+   tensor ("patents" SpTTV OOM at 1 node). *)
+let generic_mem machine (t : Tensor.t) =
+  let base = 3. *. float_of_int (Tensor.bytes t) /. nodesf machine in
+  let padding =
+    if has_dense_second_level t then
+      float_of_int (Array.fold_left ( * ) 1 t.Tensor.dims) *. 8. /. nodesf machine
+    else 0.
+  in
+  base +. padding
+
+let check_mem machine bytes what =
+  if bytes > node_mem machine then
+    Some
+      (Printf.sprintf "CTF %s: %.2e B/node exceeds %.2e B node memory" what
+         bytes (node_mem machine))
+  else None
+
+let finish machine ~mem ~what ~time =
+  match check_mem machine mem what with
+  | Some reason -> Common.dnc reason
+  | None -> Common.ok time
+
+let spmv ~machine b ~x ~y =
+  require_cpu machine;
+  Common.seq_spmv b x y;
+  let r = ranks machine in
+  let counts = Common.row_block_nnz b ~blocks:r in
+  let t_redis =
+    redistribute machine (float_of_int (Tensor.bytes b))
+    +. redistribute machine (Dense.vec_bytes x +. Dense.vec_bytes y)
+  in
+  let t_work =
+    imbalanced_time machine counts
+      ~flops_per_elt:(interp_spmv_flops +. sort_flops)
+      ~bytes_per_elt:24.
+  in
+  finish machine
+    ~mem:(generic_mem machine b)
+    ~what:"SpMV"
+    ~time:(t_redis +. t_work +. barrier machine)
+
+let spmm ~machine b ~c ~a =
+  require_cpu machine;
+  Common.seq_spmm b c a;
+  let r = ranks machine in
+  let cols = float_of_int c.Dense.cols in
+  let counts = Common.row_block_nnz b ~blocks:r in
+  let t_redis =
+    redistribute machine (float_of_int (Tensor.bytes b))
+    +. redistribute machine (Dense.mat_bytes c +. Dense.mat_bytes a)
+  in
+  let t_work =
+    imbalanced_time machine counts
+      ~flops_per_elt:((interp_spmm_flops_per_col *. cols) +. sort_flops)
+      ~bytes_per_elt:(16. +. (8. *. cols))
+  in
+  let mem =
+    generic_mem machine b
+    +. ((Dense.mat_bytes c +. Dense.mat_bytes a) /. nodesf machine)
+  in
+  finish machine ~mem ~what:"SpMM" ~time:(t_redis +. t_work +. barrier machine)
+
+let spadd3 ~machine b c d =
+  require_cpu machine;
+  let result = Common.seq_add3 ~name:"A_ctf" b c d in
+  let r = ranks machine in
+  (* Two pairwise interpreted summations.  Operands already in the
+     summation layout are not re-shuffled: the first pass moves both
+     inputs, the second only the remaining operand. *)
+  let pass ~redis (t1 : Tensor.t) (t2 : Tensor.t) =
+    let counts =
+      Array.map2 ( + )
+        (Common.row_block_nnz t1 ~blocks:r)
+        (Common.row_block_nnz t2 ~blocks:r)
+    in
+    redistribute machine (float_of_int redis)
+    +. imbalanced_time machine counts ~flops_per_elt:interp_add_flops
+         ~bytes_per_elt:16.
+    +. barrier machine
+  in
+  let tmp = Common.seq_add3 ~name:"ctf_tmp" b c c in
+  let time =
+    pass ~redis:(Tensor.bytes b + Tensor.bytes c) b c
+    +. pass ~redis:(Tensor.bytes d) tmp d
+  in
+  let mem = generic_mem machine b +. generic_mem machine c +. generic_mem machine d in
+  match check_mem machine mem "SpAdd3" with
+  | Some reason -> (None, Common.dnc reason)
+  | None -> (Some result, Common.ok time)
+
+let sddmm ~machine b ~c ~d ~a =
+  require_cpu machine;
+  Common.seq_sddmm b c d a;
+  let r = ranks machine in
+  let cols = float_of_int c.Dense.cols in
+  let counts = Common.row_block_nnz b ~blocks:r in
+  let t_redis = redistribute machine (float_of_int (Tensor.bytes b)) in
+  let t_work =
+    imbalanced_time machine counts
+      ~flops_per_elt:(special_sddmm_flops +. (2. *. cols))
+      ~bytes_per_elt:(16. +. (16. *. cols))
+  in
+  let mem =
+    generic_mem machine b
+    +. ((Dense.mat_bytes c +. Dense.mat_bytes d) /. nodesf machine)
+  in
+  finish machine ~mem ~what:"SDDMM" ~time:(t_redis +. t_work +. barrier machine)
+
+let spttv ~machine b ~c ~a =
+  require_cpu machine;
+  Common.seq_spttv b c a;
+  let r = ranks machine in
+  (* Cyclic layouts block at fiber granularity. *)
+  let counts = Common.fiber_block_nnz b ~blocks:r in
+  let t_redis = redistribute machine (float_of_int (Tensor.bytes b)) in
+  let t_work =
+    imbalanced_time machine counts ~flops_per_elt:interp_spttv_flops
+      ~bytes_per_elt:24.
+  in
+  finish machine
+    ~mem:(generic_mem machine b)
+    ~what:"SpTTV"
+    ~time:(t_redis +. t_work +. barrier machine)
+
+let mttkrp ~machine b ~c ~d ~a =
+  require_cpu machine;
+  Common.seq_mttkrp b c d a;
+  let r = ranks machine in
+  let cols = float_of_int a.Dense.cols in
+  let counts = Common.fiber_block_nnz b ~blocks:r in
+  let dense_path = has_dense_second_level b in
+  let bonus = if dense_path then dense_mode_bonus else 1.0 in
+  (* The hand-written kernel [31] contracts in the tensor's resident
+     layout: no per-call redistribution. *)
+  let t_redis = 0. in
+  let t_work =
+    bonus
+    *. imbalanced_time machine counts
+         ~flops_per_elt:(special_mttkrp_flops +. (4. *. cols))
+         ~bytes_per_elt:(16. +. (8. *. cols))
+  in
+  (* Memory: redistribution buffers; per-rank replicated factor matrices on
+     the hyper-sparse path (the "freebase_sampled" OOM at every node count);
+     a sparse Khatri-Rao intermediate distributed across nodes (the
+     "freebase_music" OOM at 1-2 nodes).  The dense-mode path blocks factor
+     matrices instead of replicating them and streams the intermediate. *)
+  let d1 = b.Tensor.dims.(1) and d2 = b.Tensor.dims.(2) in
+  let factor_bytes = float_of_int (d1 + d2) *. cols *. 8. in
+  (* Streams over the resident layout: 3x input buffers only, no dense
+     padding even for dense-mode tensors. *)
+  let mem =
+    (3. *. float_of_int (Tensor.bytes b) /. nodesf machine)
+    +. (if dense_path then factor_bytes
+        else factor_bytes *. float_of_int machine.Machine.params.cpu_cores)
+    +.
+    if dense_path then 0.
+    else 0.8 *. float_of_int (Tensor.nnz b) *. cols *. 8. /. nodesf machine
+  in
+  finish machine ~mem ~what:"SpMTTKRP" ~time:(t_redis +. t_work +. barrier machine)

@@ -1,0 +1,26 @@
+(** PETSc-like baseline (paper §VI comparison target).
+
+    Algorithmic profile, per the paper's methodology and observations:
+    - one MPI rank per core on CPUs (so rank-granular static row blocks —
+      no intra-rank threading, the source of SpDISTAL's SpMV advantage on
+      skewed matrices), one rank per GPU;
+    - MatMult/MatMatMult with VecScatter/row-gather ghost exchange and a
+      per-operation synchronization;
+    - no fused 3-matrix addition: SpAdd3 executes as two pairwise MatAXPY
+      operations, each assembling an intermediate matrix with per-element
+      dynamic insertion;
+    - GPU SpMM pays a multi-GPU staging penalty (per the paper's
+      communication with the PETSc developers);
+    - no GPU sparse-add with unknown output pattern.
+
+    Kernels compute real results (into the given outputs). *)
+
+open Spdistal_runtime
+open Spdistal_formats
+
+val spmv : machine:Machine.t -> Tensor.t -> x:Dense.vec -> y:Dense.vec -> Common.result
+val spmm : machine:Machine.t -> Tensor.t -> c:Dense.mat -> a:Dense.mat -> Common.result
+
+(** Returns the assembled sum and the result. *)
+val spadd3 :
+  machine:Machine.t -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t option * Common.result

@@ -1,0 +1,1 @@
+lib/core/kernels.ml: Array Assemble Coo Dense Fun Level List Machine Operand Schedule Spdistal Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Tdn Tensor Tin

@@ -1,0 +1,1 @@
+lib/core/kernels.mli: Dense Machine Schedule Spdistal Spdistal_formats Spdistal_ir Spdistal_runtime Tensor

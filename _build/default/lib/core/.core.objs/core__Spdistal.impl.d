@@ -1,0 +1,1 @@
+lib/core/spdistal.ml: Cost Interp List Lower Machine Memstate Operand Placement Pretty Schedule Spdistal_exec Spdistal_ir Spdistal_runtime Tdn Tin

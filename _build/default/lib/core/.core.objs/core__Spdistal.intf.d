@@ -1,0 +1,1 @@
+lib/core/spdistal.mli: Cost Loop_ir Machine Operand Schedule Spdistal_exec Spdistal_ir Spdistal_runtime Tdn Tin

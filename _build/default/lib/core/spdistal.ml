@@ -1,0 +1,43 @@
+open Spdistal_runtime
+open Spdistal_ir
+open Spdistal_exec
+
+type problem = {
+  machine : Machine.t;
+  operands : (string * Operand.slot * Tdn.t) list;
+  stmt : Tin.stmt;
+  schedule : Schedule.t;
+}
+
+let machine ?params ~kind grid = Machine.make ?params ~kind grid
+
+let problem ~machine ~operands ~stmt ~schedule =
+  { machine; operands; stmt; schedule }
+
+let bindings p = List.map (fun (n, s, _) -> (n, s)) p.operands
+
+let compile p =
+  let env = Operand.env_of_bindings (bindings p) in
+  Lower.lower ~env ~grid:p.machine.Machine.grid p.stmt p.schedule
+
+let show p = Pretty.prog_to_string (compile p)
+
+type run_result = { cost : Cost.t; dnc : string option }
+
+let run ?(uvm = false) p =
+  let b = bindings p in
+  let cost = Cost.create () in
+  try
+    let placement =
+      List.map
+        (fun (name, _, tdn) ->
+          (name, Placement.of_tdn ~machine:p.machine ~bindings:b name tdn))
+        p.operands
+    in
+    let prog = compile p in
+    let memstate = Memstate.create p.machine ~uvm in
+    Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost prog;
+    { cost; dnc = None }
+  with Memstate.Oom reason -> { cost; dnc = Some reason }
+
+let time_of r = match r.dnc with Some _ -> None | None -> Some (Cost.total r.cost)

@@ -1,0 +1,63 @@
+(** SpDISTAL's user-facing API, mirroring the paper's Fig. 1 program shape:
+    declare a machine, declare tensors with formats and data distributions,
+    state the computation in tensor index notation, schedule it, then
+    compile and run.
+
+    {[
+      let m = Spdistal.machine ~kind:Machine.Cpu [| pieces |] in
+      let problem =
+        Spdistal.problem ~machine:m
+          ~operands:
+            [
+              ("a", Operand.vec a, Tdn.Blocked { tensor_dim = 0; machine_dim = 0 });
+              ("B", Operand.sparse b, Tdn.Blocked { tensor_dim = 0; machine_dim = 0 });
+              ("c", Operand.vec c, Tdn.Replicated);
+            ]
+          ~stmt:Tin.spmv ~schedule:(Kernels.spmv_row ())
+      in
+      let prog = Spdistal.compile problem in
+      let res = Spdistal.run problem
+    ]} *)
+
+open Spdistal_runtime
+open Spdistal_ir
+open Spdistal_exec
+
+(** A fully-specified distributed computation. *)
+type problem = {
+  machine : Machine.t;
+  operands : (string * Operand.slot * Tdn.t) list;
+  stmt : Tin.stmt;
+  schedule : Schedule.t;
+}
+
+val machine : ?params:Machine.params -> kind:Machine.proc_kind -> int array -> Machine.t
+
+val problem :
+  machine:Machine.t ->
+  operands:(string * Operand.slot * Tdn.t) list ->
+  stmt:Tin.stmt ->
+  schedule:Schedule.t ->
+  problem
+
+(** Lower the problem to its partitioning-and-compute program (Fig. 9). *)
+val compile : problem -> Loop_ir.prog
+
+(** Render the compiled program as paper-style pseudo-code. *)
+val show : problem -> string
+
+type run_result = {
+  cost : Cost.t;  (** simulated time of one timed iteration *)
+  dnc : string option;  (** [Some reason] when the run OOMed (a DNC cell) *)
+}
+
+(** Execute one timed iteration: materializes data distributions, runs the
+    distributed program (real numerics), returns simulated cost.  On OOM the
+    result carries [dnc] and the outputs are unspecified. *)
+val run : ?uvm:bool -> problem -> run_result
+
+(** Simulated seconds, or [None] on DNC. *)
+val time_of : run_result -> float option
+
+(** Bindings view of a problem's operands (for validation in tests). *)
+val bindings : problem -> Operand.bindings

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Cost Iset Leaf Level List Loop_ir Machine Memstate Operand Option Part_eval Partition Placement Printf Region Spdistal_formats Spdistal_ir Spdistal_runtime Task Tensor Tin

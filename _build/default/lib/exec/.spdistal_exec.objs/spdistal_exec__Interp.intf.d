@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Cost Machine Memstate Operand Part_eval Placement Spdistal_ir Spdistal_runtime

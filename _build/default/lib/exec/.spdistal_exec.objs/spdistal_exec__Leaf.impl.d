@@ -1,0 +1,1 @@
+lib/exec/leaf.ml: Array Dense Hashtbl Iset Level List Loop_ir Operand Printf Region Spdistal_formats Spdistal_ir Spdistal_runtime Task Tensor Tin

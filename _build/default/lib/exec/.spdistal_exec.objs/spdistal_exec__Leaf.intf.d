@@ -1,0 +1,1 @@
+lib/exec/leaf.mli: Iset Operand Spdistal_ir Spdistal_runtime Task

@@ -1,0 +1,1 @@
+lib/exec/operand.ml: Array Dense Level List Printf Spdistal_formats Spdistal_ir Tensor

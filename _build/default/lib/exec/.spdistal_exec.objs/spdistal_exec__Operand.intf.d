@@ -1,0 +1,1 @@
+lib/exec/operand.mli: Dense Spdistal_formats Spdistal_ir Tensor

@@ -1,0 +1,1 @@
+lib/exec/part_eval.ml: Array Dense Dependent Hashtbl Iset List Loop_ir Operand Partition Printf Region Spdistal_formats Spdistal_ir Spdistal_runtime Tensor

@@ -1,0 +1,1 @@
+lib/exec/part_eval.mli: Hashtbl Iset Loop_ir Operand Partition Spdistal_ir Spdistal_runtime

@@ -1,0 +1,1 @@
+lib/exec/placement.ml: Array Iset List Lower Machine Operand Part_eval Partition Spdistal_formats Spdistal_ir Spdistal_runtime Tdn

@@ -1,0 +1,1 @@
+lib/exec/placement.mli: Iset Machine Operand Partition Spdistal_ir Spdistal_runtime

@@ -1,0 +1,1 @@
+lib/exec/validate.ml: Array Dense Float Hashtbl List Operand Option Printf Spdistal_formats Spdistal_ir Tensor Tin

@@ -1,0 +1,1 @@
+lib/exec/validate.mli: Hashtbl Operand Spdistal_ir

@@ -1,0 +1,261 @@
+open Spdistal_runtime
+open Spdistal_formats
+open Spdistal_ir
+
+let last : Part_eval.env option ref = ref None
+let last_env () = !last
+
+(* Map a piece id to the color of a partition that may have been built for a
+   sub-grid of the machine (2-D batched schedules partition rows by the
+   grid's first dimension and columns by the second). *)
+let color_for ~grid ~pieces part piece =
+  let colors = Partition.colors part in
+  if colors = pieces then piece
+  else if Array.length grid >= 2 && colors = grid.(0) then piece / grid.(1)
+  else if Array.length grid >= 2 && colors = grid.(1) then piece mod grid.(1)
+  else
+    invalid_arg
+      (Printf.sprintf "Interp: partition with %d colors on %d pieces" colors
+         pieces)
+
+let stitch_merge ~bindings ~out_name ~nrows ~ncols partials =
+  (* Per-piece row blocks are disjoint and ordered; concatenate them. *)
+  let pos = Array.make nrows (0, -1) in
+  let total =
+    List.fold_left
+      (fun acc (p : Leaf.merge_partial) ->
+        acc + Array.fold_left ( + ) 0 p.Leaf.mcounts)
+      0 partials
+  in
+  let crd = Array.make (max total 1) 0 in
+  let vals = Array.make (max total 1) 0. in
+  let cursor = ref 0 in
+  List.iter
+    (fun (p : Leaf.merge_partial) ->
+      let k = ref 0 in
+      Array.iteri
+        (fun i r ->
+          let c = p.Leaf.mcounts.(i) in
+          pos.(r) <- (!cursor, !cursor + c - 1);
+          for _ = 1 to c do
+            crd.(!cursor) <- p.Leaf.mcrd.(!k);
+            vals.(!cursor) <- p.Leaf.mvals.(!k);
+            incr cursor;
+            incr k
+          done)
+        p.Leaf.mrows)
+    partials;
+  (* Normalize empty rows into monotone empty ranges. *)
+  let cur = ref 0 in
+  for r = 0 to nrows - 1 do
+    let lo, hi = pos.(r) in
+    if hi < lo then pos.(r) <- (!cur, !cur - 1) else cur := hi + 1
+  done;
+  let t =
+    {
+      Tensor.name = out_name;
+      dims = [| nrows; ncols |];
+      mode_order = [| 0; 1 |];
+      levels =
+        [|
+          Level.Dense { dim = nrows };
+          Level.Compressed
+            {
+              pos = Region.of_array (out_name ^ ".pos") pos;
+              crd = Region.of_array (out_name ^ ".crd") crd;
+            };
+        |];
+      vals = Region.of_array (out_name ^ ".vals") vals;
+    }
+  in
+  (Operand.find bindings out_name).Operand.data <- Operand.Sparse t
+
+let run ~machine ~bindings ~placement ?memstate ~cost prog =
+  let pieces = Loop_ir.pieces prog in
+  if pieces <> Machine.pieces machine then
+    invalid_arg "Interp.run: program lowered for a different machine size";
+  let grid = prog.Loop_ir.grid in
+  let penv = Part_eval.create bindings in
+  let loops = Part_eval.eval_partitions penv prog in
+  last := Some penv;
+  let part name = Part_eval.find_partition penv name in
+  let subset_for p piece =
+    Partition.subset p (color_for ~grid ~pieces p piece)
+  in
+  let data name = (Operand.find bindings name).Operand.data in
+  let intra = Machine.nodes machine = 1 in
+  List.iter
+    (function
+      | Loop_ir.Distributed_for { shard_parts; comms; out_comm; leaf; _ } ->
+          let comm_times = Array.make pieces 0. in
+          let leaf_times = Array.make pieces 0. in
+          let partials = ref [] in
+          let total_bytes = ref 0. and total_msgs = ref 0 in
+          for c = 0 to pieces - 1 do
+            (* --- communication into piece [c] --- *)
+            let comm_time = ref 0. in
+            let footprint = ref 0. in
+            List.iter
+              (fun (cm : Loop_ir.comm) ->
+                let d = data cm.Loop_ir.comm_tensor in
+                let elt =
+                  Operand.slice_bytes d (max cm.Loop_ir.comm_dim 0)
+                  /. float_of_int cm.Loop_ir.divide_by
+                in
+                let full_count =
+                  match (d, cm.Loop_ir.comm_dim) with
+                  | Operand.Sparse t, -1 -> Tensor.nnz t
+                  | _, dim -> Operand.dim d (max dim 0)
+                in
+                match cm.Loop_ir.comm_part with
+                | None -> (
+                    (* Whole operand needed: a broadcast, unless already
+                       replicated by the data distribution. *)
+                    let bytes = float_of_int full_count *. elt in
+                    footprint := !footprint +. bytes;
+                    match
+                      Placement.resident_set placement
+                        ~tensor:cm.Loop_ir.comm_tensor
+                        ~comm_dim:cm.Loop_ir.comm_dim
+                        ~piece_subset:(fun p -> subset_for p c)
+                    with
+                    | `All -> ()
+                    | `Set _ | `Nothing ->
+                        comm_time := !comm_time +. Machine.bcast_time machine ~bytes;
+                        total_bytes := !total_bytes +. bytes;
+                        incr total_msgs)
+                | Some pname ->
+                    let needed = subset_for (part pname) c in
+                    let needed_bytes =
+                      float_of_int (Iset.cardinal needed) *. elt
+                    in
+                    footprint := !footprint +. needed_bytes;
+                    let missing =
+                      match
+                        Placement.resident_set placement
+                          ~tensor:cm.Loop_ir.comm_tensor
+                          ~comm_dim:cm.Loop_ir.comm_dim
+                          ~piece_subset:(fun p -> subset_for p c)
+                      with
+                      | `All -> Iset.empty
+                      | `Nothing -> needed
+                      | `Set r -> Iset.diff needed r
+                    in
+                    let bytes = float_of_int (Iset.cardinal missing) *. elt in
+                    if bytes > 0. then begin
+                      comm_time :=
+                        !comm_time
+                        +. Machine.p2p_time machine ~intra_node:intra ~bytes;
+                      total_bytes := !total_bytes +. bytes;
+                      incr total_msgs
+                    end)
+              comms;
+            (* --- capacity check (OOM / UVM paging) --- *)
+            (match memstate with
+            | None -> ()
+            | Some ms -> (
+                match
+                  Memstate.ensure ms ~piece:c
+                    ~key:(Printf.sprintf "launch:%d" c)
+                    ~bytes:!footprint
+                with
+                | Memstate.Hit | Memstate.Miss _ -> ()
+                | Memstate.Paged overflow ->
+                    (* Page the overflow in and out once per iteration. *)
+                    comm_time :=
+                      !comm_time
+                      +. (2. *. overflow /. machine.Machine.params.uvm_page_bw)));
+            (* --- leaf execution --- *)
+            let shard_vals tname =
+              match List.assoc_opt tname shard_parts with
+              | Some pname -> subset_for (part pname) c
+              | None ->
+                  invalid_arg (Printf.sprintf "Interp: no shard for %s" tname)
+            in
+            let rows =
+              Option.map
+                (fun pname -> subset_for (part pname) c)
+                leaf.Loop_ir.leaf_row_part
+            in
+            let col_range =
+              if leaf.Loop_ir.col_split > 1 then begin
+                let py = grid.(1) in
+                let cy = c mod py in
+                (* Column extent from the output's last dimension. *)
+                let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in
+                let od = data out_acc.Tin.tensor in
+                let e = Operand.dim od (Operand.order od - 1) in
+                Some ((cy * e / py, ((cy + 1) * e / py) - 1))
+              end
+              else None
+            in
+            let res =
+              Leaf.execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()
+            in
+            (match res.Leaf.partial with
+            | Some p -> partials := !partials @ [ p ]
+            | None -> ());
+            Cost.add_flops cost res.Leaf.work.Task.flops;
+            let lt = Task.leaf_time machine res.Leaf.work in
+            let lt =
+              if machine.Machine.kind = Machine.Cpu then
+                if not leaf.Loop_ir.parallel then
+                  lt *. float_of_int machine.Machine.params.cpu_cores
+                else lt /. machine.Machine.params.legion_leaf_efficiency
+              else lt
+            in
+            comm_times.(c) <- !comm_time;
+            leaf_times.(c) <- lt
+          done;
+          Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
+          Cost.record_launch_split cost ~machine ~comm_times ~leaf_times;
+          (* --- output reduction for aliased ownership --- *)
+          (match out_comm with
+          | None -> ()
+          | Some cm ->
+              let total, union =
+                match cm.Loop_ir.comm_part with
+                | Some pname ->
+                    let p = part pname in
+                    ( Array.fold_left
+                        (fun acc s -> acc + Iset.cardinal s)
+                        0 p.Partition.subsets,
+                      Iset.cardinal (Partition.union_of_colors p) )
+                | None ->
+                    (* Every piece holds a full partial output (distributed
+                       reduction loop): overlap = (pieces-1) copies. *)
+                    let n =
+                      Operand.dim (data cm.Loop_ir.comm_tensor)
+                        (max cm.Loop_ir.comm_dim 0)
+                    in
+                    (pieces * n, n)
+              in
+              let overlap = max 0 (total - union) in
+              if overlap > 0 then begin
+                let d = data cm.Loop_ir.comm_tensor in
+                let elt =
+                  Operand.slice_bytes d (max cm.Loop_ir.comm_dim 0)
+                  /. float_of_int cm.Loop_ir.divide_by
+                in
+                let bytes =
+                  float_of_int overlap *. elt /. float_of_int pieces
+                in
+                Cost.add_comm cost
+                  ~bytes:(float_of_int overlap *. elt)
+                  ~messages:pieces
+                  (Machine.reduce_time machine ~bytes)
+              end);
+          (* --- stitch unknown-pattern outputs --- *)
+          if !partials <> [] then begin
+            let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in
+            let first_in =
+              match leaf.Loop_ir.driver with
+              | Loop_ir.Merge_driver (t :: _) -> t
+              | _ -> invalid_arg "Interp: partials from a non-merge leaf"
+            in
+            let src = Operand.find_sparse bindings first_in in
+            stitch_merge ~bindings ~out_name:out_acc.Tin.tensor
+              ~nrows:src.Tensor.dims.(0) ~ncols:src.Tensor.dims.(1) !partials
+          end
+      | _ -> assert false)
+    loops

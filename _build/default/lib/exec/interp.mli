@@ -1,0 +1,31 @@
+(** Execution of lowered programs against the simulated machine.
+
+    The interpreter plays the role Legion plays for SpDISTAL's generated
+    code: it materializes the program's partitions (dependent partitioning,
+    §V-A), launches the distributed loop, moves the sub-regions each piece
+    needs, runs the leaf kernels for real, and advances the simulated clock.
+
+    Timing semantics: one [run] is one {e timed iteration} of the paper's
+    benchmark protocol.  Partitioning happens at setup and is not charged.
+    Dense operands are assumed invalidated between iterations (they are the
+    vectors/factors an iterative application updates), so their
+    communication recurs, exactly like PETSc's per-MatMult VecScatter;
+    sparse inputs are charged only for the difference between their declared
+    data distribution and what the computation needs (paper §II-D).
+    {!Spdistal_runtime.Memstate} enforces capacities: [Oom] escapes to the
+    caller, which reports a DNC cell (paper Fig. 11). *)
+
+open Spdistal_runtime
+
+val run :
+  machine:Machine.t ->
+  bindings:Operand.bindings ->
+  placement:Placement.t ->
+  ?memstate:Memstate.t ->
+  cost:Cost.t ->
+  Spdistal_ir.Loop_ir.prog ->
+  unit
+
+(** Partition-evaluation environment of the last [run], for inspection in
+    tests (partitions by name). *)
+val last_env : unit -> Part_eval.env option

@@ -1,0 +1,424 @@
+open Spdistal_runtime
+open Spdistal_formats
+open Spdistal_ir
+
+type merge_partial = {
+  mrows : int array;
+  mcounts : int array;
+  mcrd : int array;
+  mvals : float array;
+}
+
+type result = { work : Task.work; partial : merge_partial option }
+
+(* ------------------------------------------------------------------ *)
+(* Coordinate expansion: logical coordinates and per-level positions of
+   every leaf position, memoized per tensor.                            *)
+(* ------------------------------------------------------------------ *)
+
+type expansion = {
+  ecoords : int array array;  (* [logical dim][leaf pos] *)
+  epos : int array array;  (* [level][leaf pos] *)
+}
+
+let cache : (int, expansion) Hashtbl.t = Hashtbl.create 16
+let clear_cache () = Hashtbl.reset cache
+
+let expand (t : Tensor.t) =
+  (* Keyed by the vals region's unique allocation id: tensor names repeat
+     across problems, physical storage does not. *)
+  let key = t.Tensor.vals.Region.id in
+  match Hashtbl.find_opt cache key with
+  | Some e -> e
+  | None ->
+      let ord = Tensor.order t in
+      let n = Tensor.nnz t in
+      let ecoords = Array.init ord (fun _ -> Array.make n 0) in
+      let epos = Array.init ord (fun _ -> Array.make n 0) in
+      let coords = Array.make ord 0 and positions = Array.make ord 0 in
+      let rec go k parent_pos =
+        if k = ord then
+          for d = 0 to ord - 1 do
+            ecoords.(t.Tensor.mode_order.(d)).(parent_pos) <- coords.(d);
+            epos.(d).(parent_pos) <- positions.(d)
+          done
+        else
+          match t.Tensor.levels.(k) with
+          | Level.Dense { dim } ->
+              for c = 0 to dim - 1 do
+                coords.(k) <- c;
+                positions.(k) <- (parent_pos * dim) + c;
+                go (k + 1) positions.(k)
+              done
+          | Level.Compressed { pos; crd } ->
+              let lo, hi = Region.get pos parent_pos in
+              for p = lo to hi do
+                coords.(k) <- Region.get crd p;
+                positions.(k) <- p;
+                go (k + 1) p
+              done
+          | Level.Singleton { crd } ->
+              coords.(k) <- Region.get crd parent_pos;
+              positions.(k) <- parent_pos;
+              go (k + 1) parent_pos
+      in
+      if n > 0 then go 0 0;
+      let e = { ecoords; epos } in
+      Hashtbl.replace cache key e;
+      e
+
+(* ------------------------------------------------------------------ *)
+(* Kernel classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+type idx_src = Driver_dim of int | Inner_out | Inner_red
+
+type factor =
+  | F_vec of float array * idx_src
+  | F_mat of float array * int * idx_src * idx_src
+
+type sink =
+  | S_vec of float array * idx_src
+  | S_mat of float array * int * idx_src * idx_src
+  | S_sparse of float array * int array option
+      (* vals; [Some level_pos] maps leaf positions to output positions
+         (pattern shared above the leaf); [None] writes at the leaf. *)
+
+let var_pos_opt (acc : Tin.access) v =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = v -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 acc.Tin.indices
+
+let src_of_var ~driver_acc ~inner_out ~inner_red v =
+  if Some v = inner_out then Inner_out
+  else if Some v = inner_red then Inner_red
+  else
+    match var_pos_opt driver_acc v with
+    | Some i -> Driver_dim i
+    | None -> invalid_arg (Printf.sprintf "Leaf: variable %s has no source" v)
+
+let eval_src coords ~j ~k = function
+  | Driver_dim d -> coords.(d)
+  | Inner_out -> j
+  | Inner_red -> k
+
+(* ------------------------------------------------------------------ *)
+(* Multiplicative kernels                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
+  let stmt = leaf.Loop_ir.leaf_stmt in
+  let driver = Operand.find_sparse bindings driver_name in
+  let exp = expand driver in
+  let ord = Tensor.order driver in
+  let driver_acc =
+    match
+      List.find_opt (fun a -> a.Tin.tensor = driver_name) (Tin.rhs_accesses stmt)
+    with
+    | Some a -> a
+    | None -> invalid_arg "Leaf: driver access missing"
+  in
+  let out = stmt.Tin.lhs in
+  let inner_out =
+    List.find_opt (fun v -> var_pos_opt driver_acc v = None) out.Tin.indices
+  in
+  let inner_red =
+    List.find_opt
+      (fun v ->
+        var_pos_opt driver_acc v = None && not (List.mem v out.Tin.indices))
+      (Tin.index_vars stmt)
+  in
+  let src = src_of_var ~driver_acc ~inner_out ~inner_red in
+  let factors =
+    List.filter_map
+      (fun (a : Tin.access) ->
+        if a.Tin.tensor = driver_name then None
+        else
+          match (Operand.find bindings a.Tin.tensor).Operand.data with
+          | Operand.Vec v -> (
+              match a.Tin.indices with
+              | [ iv ] -> Some (F_vec (v.Dense.data, src iv))
+              | _ -> invalid_arg "Leaf: vector arity")
+          | Operand.Mat m -> (
+              match a.Tin.indices with
+              | [ r; c ] ->
+                  Some (F_mat (m.Dense.data, m.Dense.cols, src r, src c))
+              | _ -> invalid_arg "Leaf: matrix arity")
+          | Operand.Sparse _ ->
+              invalid_arg "Leaf: second sparse operand in a product")
+      (Tin.rhs_accesses stmt)
+    |> Array.of_list
+  in
+  let sink =
+    match (Operand.find bindings out.Tin.tensor).Operand.data with
+    | Operand.Vec v -> (
+        match out.Tin.indices with
+        | [ iv ] -> S_vec (v.Dense.data, src iv)
+        | _ -> invalid_arg "Leaf: output vector arity")
+    | Operand.Mat m -> (
+        match out.Tin.indices with
+        | [ r; c ] -> S_mat (m.Dense.data, m.Dense.cols, src r, src c)
+        | _ -> invalid_arg "Leaf: output matrix arity")
+    | Operand.Sparse ot ->
+        let depth = List.length out.Tin.indices in
+        if depth = ord then S_sparse (ot.Tensor.vals.Region.data, None)
+        else S_sparse (ot.Tensor.vals.Region.data, Some exp.epos.(depth - 1))
+  in
+  let extent_of_inner v =
+    let rec find = function
+      | [] -> invalid_arg (Printf.sprintf "Leaf: no extent for %s" v)
+      | (a : Tin.access) :: rest -> (
+          match var_pos_opt a v with
+          | Some p when a.Tin.tensor <> driver_name ->
+              Operand.dim (Operand.find bindings a.Tin.tensor).Operand.data p
+          | _ -> find rest)
+    in
+    find (out :: Tin.rhs_accesses stmt)
+  in
+  let jlo, jhi =
+    match (inner_out, col_range) with
+    | None, _ -> (0, -1)
+    | Some v, None -> (0, extent_of_inner v - 1)
+    | Some _, Some (lo, hi) -> (lo, hi)
+  in
+  let klo, khi =
+    match inner_red with None -> (0, -1) | Some v -> (0, extent_of_inner v - 1)
+  in
+  let dvals = driver.Tensor.vals.Region.data in
+  let nslots = List.length driver_acc.Tin.indices in
+  (* Slot [s] of the driver access binds the driver's logical dimension
+     [s]. *)
+  let coord_arrays = Array.init nslots (fun s -> exp.ecoords.(s)) in
+  let coords = Array.make nslots 0 in
+  let nf = Array.length factors in
+  let eval_factors ~j ~k =
+    let acc = ref 1.0 in
+    for f = 0 to nf - 1 do
+      acc :=
+        !acc
+        *.
+        (match factors.(f) with
+        | F_vec (d, s) -> d.(eval_src coords ~j ~k s)
+        | F_mat (d, cols, sr, sc) ->
+            d.((eval_src coords ~j ~k sr * cols) + eval_src coords ~j ~k sc))
+    done;
+    !acc
+  in
+  let last_row = ref (-1) and rows_touched = ref 0 and nnz = ref 0 in
+  Iset.iter_intervals
+    (fun plo phi ->
+      for p = plo to phi do
+        let dv = dvals.(p) in
+        for s = 0 to nslots - 1 do
+          coords.(s) <- coord_arrays.(s).(p)
+        done;
+        if coords.(0) <> !last_row then begin
+          incr rows_touched;
+          last_row := coords.(0)
+        end;
+        incr nnz;
+        match (inner_out, inner_red) with
+        | None, None -> (
+            let y = dv *. eval_factors ~j:0 ~k:0 in
+            match sink with
+            | S_vec (d, s) ->
+                let i = eval_src coords ~j:0 ~k:0 s in
+                d.(i) <- d.(i) +. y
+            | S_mat (d, cols, sr, sc) ->
+                let i =
+                  (eval_src coords ~j:0 ~k:0 sr * cols) + eval_src coords ~j:0 ~k:0 sc
+                in
+                d.(i) <- d.(i) +. y
+            | S_sparse (d, None) -> d.(p) <- d.(p) +. y
+            | S_sparse (d, Some lp) ->
+                let q = lp.(p) in
+                d.(q) <- d.(q) +. y)
+        | Some _, None ->
+            for j = jlo to jhi do
+              let y = dv *. eval_factors ~j ~k:0 in
+              match sink with
+              | S_mat (d, cols, sr, sc) ->
+                  let i = (eval_src coords ~j ~k:0 sr * cols) + eval_src coords ~j ~k:0 sc in
+                  d.(i) <- d.(i) +. y
+              | S_vec (d, s) ->
+                  let i = eval_src coords ~j ~k:0 s in
+                  d.(i) <- d.(i) +. y
+              | S_sparse _ -> invalid_arg "Leaf: inner-out with sparse output"
+            done
+        | None, Some _ -> (
+            let acc = ref 0. in
+            for k = klo to khi do
+              acc := !acc +. eval_factors ~j:0 ~k
+            done;
+            let y = dv *. !acc in
+            match sink with
+            | S_sparse (d, None) -> d.(p) <- d.(p) +. y
+            | S_sparse (d, Some lp) ->
+                let q = lp.(p) in
+                d.(q) <- d.(q) +. y
+            | S_vec (d, s) ->
+                let i = eval_src coords ~j:0 ~k:0 s in
+                d.(i) <- d.(i) +. y
+            | S_mat (d, cols, sr, sc) ->
+                let i =
+                  (eval_src coords ~j:0 ~k:0 sr * cols) + eval_src coords ~j:0 ~k:0 sc
+                in
+                d.(i) <- d.(i) +. y)
+        | Some _, Some _ ->
+            invalid_arg "Leaf: simultaneous inner output and reduction vars"
+      done)
+    shard;
+  (* Work model: bytes move once per executed access; the output row
+     amortizes over the row's non-zeros (detected by row changes in the
+     sorted iteration). *)
+  let n = float_of_int !nnz in
+  let rows = float_of_int (max 1 !rows_touched) in
+  let nff = float_of_int nf in
+  let js = float_of_int (max 0 (jhi - jlo + 1))
+  and ks = float_of_int (max 0 (khi - klo + 1)) in
+  let flops, read, written =
+    match (inner_out, inner_red) with
+    | None, None -> (2. *. n, (16. +. (8. *. nff)) *. n, 8. *. rows)
+    | Some _, None ->
+        ( 2. *. n *. js,
+          (16. *. n) +. (8. *. n *. js) +. (8. *. rows *. js),
+          8. *. rows *. js )
+    | None, Some _ -> ((2. *. ks +. 2.) *. n, (16. *. n) +. (16. *. n *. ks), 8. *. n)
+    | Some _, Some _ -> (0., 0., 0.)
+  in
+  let atomics =
+    leaf.Loop_ir.nnz_split
+    && (match sink with S_sparse (_, None) -> false | _ -> true)
+  in
+  {
+    work = { Task.flops; bytes_read = read; bytes_written = written; atomics };
+    partial = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Additive merge kernels (SpAdd3): per-row k-way merge with two-phase
+   assembly semantics (the count pass is folded into the byte model).   *)
+(* ------------------------------------------------------------------ *)
+
+let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
+  let ops =
+    List.map
+      (fun name ->
+        let t = Operand.find_sparse bindings name in
+        if Tensor.order t <> 2 then invalid_arg "Leaf: merge needs matrices";
+        ( (Tensor.pos_of t 1).Region.data,
+          (Tensor.crd_of t 1).Region.data,
+          t.Tensor.vals.Region.data ))
+      tensors
+  in
+  let cols =
+    (Operand.find_sparse bindings (List.hd tensors)).Tensor.dims.(1)
+  in
+  let flops = ref 0. and br = ref 0. and bw = ref 0. in
+  let rows_list = ref [] and counts = ref [] in
+  let crd_acc = ref [] and vals_acc = ref [] in
+  (* Workspace strategy (Kjolstad et al. [22]): scatter each operand row
+     into a dense accumulator, track touched columns, then sort and emit —
+     no k-way comparisons, at the cost of random workspace traffic. *)
+  let w = if use_workspace then Array.make cols 0. else [||] in
+  let touched = if use_workspace then Array.make cols false else [||] in
+  let workspace_row r emit =
+    let idx = ref [] in
+    List.iter
+      (fun (pos, crd, vals) ->
+        let lo, hi = (pos : (int * int) array).(r) in
+        for p = lo to hi do
+          let j = crd.(p) in
+          if not touched.(j) then begin
+            touched.(j) <- true;
+            idx := j :: !idx
+          end;
+          w.(j) <- w.(j) +. vals.(p);
+          flops := !flops +. 1.;
+          (* value + crd reads, workspace read-modify-write *)
+          br := !br +. 32.
+        done)
+      ops;
+    let sorted = List.sort compare !idx in
+    List.iter
+      (fun j ->
+        emit j w.(j);
+        w.(j) <- 0.;
+        touched.(j) <- false)
+      sorted
+  in
+  let merge_row r emit =
+    let cursors =
+      List.map
+        (fun (pos, crd, vals) ->
+          let lo, hi = pos.(r) in
+          (ref lo, hi, crd, vals))
+        ops
+    in
+    let rec step () =
+      let mincol =
+        List.fold_left
+          (fun m (i, hi, crd, _) -> if !i <= hi then min m crd.(!i) else m)
+          max_int cursors
+      in
+      if mincol < max_int then begin
+        let sum = ref 0. in
+        List.iter
+          (fun (i, hi, crd, vals) ->
+            while !i <= hi && crd.(!i) = mincol do
+              sum := !sum +. vals.(!i);
+              flops := !flops +. 1.;
+              br := !br +. 16.;
+              incr i
+            done)
+          cursors;
+        emit mincol !sum;
+        step ()
+      end
+    in
+    step ()
+  in
+  let do_row = if use_workspace then workspace_row else merge_row in
+  Iset.iter
+    (fun r ->
+      let row_nnz = ref 0 in
+      let row_crd = ref [] and row_vals = ref [] in
+      do_row r (fun col v ->
+          incr row_nnz;
+          row_crd := col :: !row_crd;
+          row_vals := v :: !row_vals;
+          bw := !bw +. 16.);
+      rows_list := r :: !rows_list;
+      counts := !row_nnz :: !counts;
+      crd_acc := !row_crd @ !crd_acc;
+      vals_acc := !row_vals @ !vals_acc)
+    rows;
+  let partial =
+    {
+      mrows = Array.of_list (List.rev !rows_list);
+      mcounts = Array.of_list (List.rev !counts);
+      mcrd = Array.of_list (List.rev !crd_acc);
+      mvals = Array.of_list (List.rev !vals_acc);
+    }
+  in
+  if not use_workspace then br := !br *. 2.;
+  {
+    work =
+      { Task.flops = !flops; bytes_read = !br; bytes_written = !bw; atomics = false };
+    partial = Some partial;
+  }
+
+let execute ~bindings ~leaf ~shard_vals ~rows ~col_range () =
+  match leaf.Loop_ir.driver with
+  | Loop_ir.Sparse_driver driver_name ->
+      mul_kernel ~bindings ~leaf ~driver_name ~shard:(shard_vals driver_name)
+        ~col_range
+  | Loop_ir.Merge_driver tensors -> (
+      match rows with
+      | Some r ->
+          merge_kernel ~bindings ~tensors ~rows:r
+            ~use_workspace:leaf.Loop_ir.use_workspace
+      | None -> invalid_arg "Leaf: merge kernel needs a row set")

@@ -1,0 +1,38 @@
+(** Leaf kernels: the per-piece computation at the bottom of a distributed
+    loop (paper Fig. 9b label (4)).
+
+    The executor derives the iteration shape mechanically from the TIN
+    statement: iterate the stored values of the sparse driver (or co-iterate
+    rows of several operands for additive merges), evaluate the dense factors,
+    and write/reduce into the output — covering SpMV, SpMM, SpAdd3, SDDMM,
+    SpTTV and SpMTTKRP with four loop shapes.  Results are numerically exact;
+    the returned {!Spdistal_runtime.Task.work} feeds the time model. *)
+
+open Spdistal_runtime
+
+(** A shard's locally-assembled rows of an unknown-pattern sparse output
+    (two-phase assembly, §V-B); stitched globally by the interpreter. *)
+type merge_partial = {
+  mrows : int array;  (** row ids, increasing *)
+  mcounts : int array;  (** output non-zeros per row *)
+  mcrd : int array;
+  mvals : float array;
+}
+
+type result = { work : Task.work; partial : merge_partial option }
+
+(** [execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()] runs the leaf
+    for one piece.  [shard_vals t] is the piece's subset of tensor [t]'s leaf
+    positions; [rows] is the piece's row set (merge kernels); [col_range] an
+    inclusive dense-column chunk (batched SpMM). *)
+val execute :
+  bindings:Operand.bindings ->
+  leaf:Spdistal_ir.Loop_ir.leaf ->
+  shard_vals:(string -> Iset.t) ->
+  rows:Iset.t option ->
+  col_range:(int * int) option ->
+  unit ->
+  result
+
+(** Drop memoized coordinate expansions (frees memory between experiments). *)
+val clear_cache : unit -> unit

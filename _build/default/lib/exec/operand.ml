@@ -1,0 +1,81 @@
+open Spdistal_formats
+
+type data = Sparse of Tensor.t | Vec of Dense.vec | Mat of Dense.mat
+type slot = { mutable data : data }
+type bindings = (string * slot) list
+
+let sparse t = { data = Sparse t }
+let vec v = { data = Vec v }
+let mat m = { data = Mat m }
+
+let find bindings name =
+  match List.assoc_opt name bindings with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Operand.find: unbound %s" name)
+
+let find_sparse bindings name =
+  match (find bindings name).data with
+  | Sparse t -> t
+  | Vec _ | Mat _ -> invalid_arg (Printf.sprintf "Operand: %s is not sparse" name)
+
+let find_vec bindings name =
+  match (find bindings name).data with
+  | Vec v -> v
+  | Sparse _ | Mat _ -> invalid_arg (Printf.sprintf "Operand: %s is not a vector" name)
+
+let find_mat bindings name =
+  match (find bindings name).data with
+  | Mat m -> m
+  | Sparse _ | Vec _ -> invalid_arg (Printf.sprintf "Operand: %s is not a matrix" name)
+
+let dim data d =
+  match data with
+  | Sparse t -> t.Tensor.dims.(d)
+  | Vec v ->
+      if d <> 0 then invalid_arg "Operand.dim: vector has one dimension";
+      v.Dense.n
+  | Mat m -> ( match d with 0 -> m.Dense.rows | 1 -> m.Dense.cols | _ -> invalid_arg "Operand.dim")
+
+let order = function
+  | Sparse t -> Tensor.order t
+  | Vec _ -> 1
+  | Mat _ -> 2
+
+let slice_bytes data d =
+  match data with
+  | Sparse t ->
+      (* Bytes per leaf position: value + one crd entry per compressed
+         level (pos arrays amortize over rows). *)
+      let compressed =
+        Array.fold_left
+          (fun n l ->
+            match l with
+            | Level.Compressed _ | Level.Singleton _ -> n + 1
+            | Level.Dense _ -> n)
+          0 t.Tensor.levels
+      in
+      8. +. (8. *. float_of_int compressed)
+  | Vec _ -> 8.
+  | Mat m -> (
+      match d with
+      | 0 -> 8. *. float_of_int m.Dense.cols
+      | 1 -> 8. *. float_of_int m.Dense.rows
+      | _ -> invalid_arg "Operand.slice_bytes")
+
+let bytes = function
+  | Sparse t -> float_of_int (Tensor.bytes t)
+  | Vec v -> Dense.vec_bytes v
+  | Mat m -> Dense.mat_bytes m
+
+let meta = function
+  | Sparse t ->
+      Spdistal_ir.Lower.Sparse_op
+        {
+          formats = Array.map Level.kind t.Tensor.levels;
+          mode_order = t.Tensor.mode_order;
+        }
+  | Vec _ -> Spdistal_ir.Lower.Vec_op
+  | Mat _ -> Spdistal_ir.Lower.Mat_op
+
+let env_of_bindings bindings =
+  List.map (fun (name, slot) -> (name, meta slot.data)) bindings

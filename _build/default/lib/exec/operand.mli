@@ -1,0 +1,38 @@
+(** Runtime operand bindings: the data a lowered program executes against.
+
+    Dense operands are mutated in place; sparse outputs with unknown patterns
+    (additive merges) are re-assembled, so every binding is a mutable slot. *)
+
+open Spdistal_formats
+
+type data = Sparse of Tensor.t | Vec of Dense.vec | Mat of Dense.mat
+type slot = { mutable data : data }
+type bindings = (string * slot) list
+
+val sparse : Tensor.t -> slot
+val vec : Dense.vec -> slot
+val mat : Dense.mat -> slot
+
+val find : bindings -> string -> slot
+val find_sparse : bindings -> string -> Tensor.t
+val find_vec : bindings -> string -> Dense.vec
+val find_mat : bindings -> string -> Dense.mat
+
+(** Size of dimension [d] of the operand. *)
+val dim : data -> int -> int
+
+val order : data -> int
+
+(** Bytes of one element of dimension [d]'s cross-section: 8 for a vector
+    element, [8*cols] for a matrix row ([d]=0), [8*rows] for a column
+    ([d]=1). *)
+val slice_bytes : data -> int -> float
+
+(** Total payload bytes of the operand. *)
+val bytes : data -> float
+
+(** The {!Spdistal_ir.Lower.env} entry this operand induces. *)
+val meta : data -> Spdistal_ir.Lower.operand
+
+(** Build a lowering environment from bindings. *)
+val env_of_bindings : bindings -> Spdistal_ir.Lower.env

@@ -1,0 +1,178 @@
+open Spdistal_runtime
+open Spdistal_formats
+open Spdistal_ir
+
+type env = {
+  bindings : Operand.bindings;
+  colorings : (string, (int * int) list ref) Hashtbl.t;
+  partitions : (string, Partition.t) Hashtbl.t;
+  mutable dep_ops : int;
+}
+
+let create bindings =
+  {
+    bindings;
+    colorings = Hashtbl.create 16;
+    partitions = Hashtbl.create 16;
+    dep_ops = 0;
+  }
+
+let data env name = (Operand.find env.bindings name).Operand.data
+
+let sparse env name =
+  match data env name with
+  | Operand.Sparse t -> t
+  | Operand.Vec _ | Operand.Mat _ ->
+      invalid_arg (Printf.sprintf "Part_eval: %s is not sparse" name)
+
+let eval_dim env = function
+  | Loop_ir.Dim_of_level (t, k) -> (
+      match data env t with
+      | Operand.Sparse tn -> tn.Tensor.dims.(tn.Tensor.mode_order.(k))
+      | Operand.Vec v ->
+          if k <> 0 then invalid_arg "Part_eval: vector level";
+          v.Dense.n
+      | Operand.Mat m -> if k = 0 then m.Dense.rows else m.Dense.cols)
+  | Loop_ir.Extent_of_level (t, k) -> Tensor.level_extent (sparse env t) k
+  | Loop_ir.Nnz_of t -> Tensor.nnz (sparse env t)
+  | Loop_ir.Int_dim n -> n
+
+let rec eval_aexpr env ~color e =
+  let cvar, cval = color in
+  match e with
+  | Loop_ir.Int n -> n
+  | Loop_ir.Color_var v ->
+      if v = cvar then cval
+      else invalid_arg (Printf.sprintf "Part_eval: unbound color var %s" v)
+  | Loop_ir.Dim d -> eval_dim env d
+  | Loop_ir.Add (a, b) -> eval_aexpr env ~color a + eval_aexpr env ~color b
+  | Loop_ir.Sub (a, b) -> eval_aexpr env ~color a - eval_aexpr env ~color b
+  | Loop_ir.Mul (a, b) -> eval_aexpr env ~color a * eval_aexpr env ~color b
+  | Loop_ir.Div (a, b) -> eval_aexpr env ~color a / eval_aexpr env ~color b
+
+let rref_ispace env = function
+  | Loop_ir.Pos_r (t, k) -> (Tensor.pos_of (sparse env t) k).Region.ispace
+  | Loop_ir.Crd_r (t, k) -> (Tensor.crd_of (sparse env t) k).Region.ispace
+  | Loop_ir.Vals_r t -> (sparse env t).Tensor.vals.Region.ispace
+  | Loop_ir.Dom_r (t, k) -> (
+      match data env t with
+      | Operand.Sparse tn -> Iset.range (Tensor.level_extent tn k)
+      | Operand.Vec v ->
+          if k <> 0 then invalid_arg "Part_eval: vector dom";
+          Iset.range v.Dense.n
+      | Operand.Mat m -> Iset.range (if k = 0 then m.Dense.rows else m.Dense.cols))
+
+let find_partition env name =
+  match Hashtbl.find_opt env.partitions name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Part_eval: undefined partition %s" name)
+
+let coloring_bounds env name =
+  match Hashtbl.find_opt env.colorings name with
+  | Some l -> Array.of_list (List.rev !l)
+  | None -> invalid_arg (Printf.sprintf "Part_eval: undefined coloring %s" name)
+
+let scale_subsets ~f part =
+  let subsets =
+    Array.map
+      (fun s ->
+        Iset.of_intervals
+          (Iset.fold_intervals (fun lo hi acc -> f lo hi :: acc) s []))
+      part.Partition.subsets
+  in
+  subsets
+
+let eval_pexpr env = function
+  | Loop_ir.By_bounds { target; coloring } ->
+      Partition.by_bounds (rref_ispace env target) (coloring_bounds env coloring)
+  | Loop_ir.By_value_ranges { target; coloring } ->
+      let crd =
+        match target with
+        | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
+        | _ -> invalid_arg "Part_eval: value ranges need a crd region"
+      in
+      env.dep_ops <- env.dep_ops + 1;
+      Partition.by_value_ranges ~values:crd (rref_ispace env target)
+        (coloring_bounds env coloring)
+  | Loop_ir.Image_range { pos; part; target } ->
+      let posr =
+        match pos with
+        | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
+        | _ -> invalid_arg "Part_eval: image needs a pos region"
+      in
+      env.dep_ops <- env.dep_ops + 1;
+      Dependent.image_ranges posr (find_partition env part) (rref_ispace env target)
+  | Loop_ir.Preimage_range { pos; part } ->
+      let posr =
+        match pos with
+        | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
+        | _ -> invalid_arg "Part_eval: preimage needs a pos region"
+      in
+      env.dep_ops <- env.dep_ops + 1;
+      Dependent.preimage_ranges posr (find_partition env part)
+  | Loop_ir.Image_values { crd; part; target } ->
+      let crdr =
+        match crd with
+        | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
+        | _ -> invalid_arg "Part_eval: imageValues needs a crd region"
+      in
+      env.dep_ops <- env.dep_ops + 1;
+      Dependent.image_values crdr (find_partition env part) (rref_ispace env target)
+  | Loop_ir.Copy_part p -> find_partition env p
+  | Loop_ir.Scale_dense { part; dim } ->
+      let d = eval_dim env dim in
+      let p = find_partition env part in
+      let subsets = scale_subsets ~f:(fun lo hi -> (lo * d, ((hi + 1) * d) - 1)) p in
+      let parent =
+        if Iset.is_empty p.Partition.parent then Iset.empty
+        else
+          Iset.interval
+            (Iset.min_elt p.Partition.parent * d)
+            (((Iset.max_elt p.Partition.parent + 1) * d) - 1)
+      in
+      Partition.make parent subsets
+  | Loop_ir.Unscale_dense { part; dim } ->
+      let d = eval_dim env dim in
+      let p = find_partition env part in
+      let subsets = scale_subsets ~f:(fun lo hi -> (lo / d, hi / d)) p in
+      let parent =
+        if Iset.is_empty p.Partition.parent then Iset.empty
+        else Iset.interval (Iset.min_elt p.Partition.parent / d) (Iset.max_elt p.Partition.parent / d)
+      in
+      Partition.make parent subsets
+
+let rec eval_stmt env = function
+  | Loop_ir.Comment _ -> ()
+  | Loop_ir.Init_coloring c -> Hashtbl.replace env.colorings c (ref [])
+  | Loop_ir.For_colors { cvar; count; body } ->
+      for c = 0 to count - 1 do
+        List.iter
+          (function
+            | Loop_ir.Coloring_entry { coloring; lo; hi } ->
+                let l = eval_aexpr env ~color:(cvar, c) lo
+                and h = eval_aexpr env ~color:(cvar, c) hi in
+                let entries =
+                  match Hashtbl.find_opt env.colorings coloring with
+                  | Some r -> r
+                  | None -> invalid_arg "Part_eval: entry before init"
+                in
+                entries := (l, h) :: !entries
+            | s -> eval_stmt env s)
+          body
+      done
+  | Loop_ir.Coloring_entry _ ->
+      invalid_arg "Part_eval: coloring entry outside a color loop"
+  | Loop_ir.Def_partition { pname; expr } ->
+      Hashtbl.replace env.partitions pname (eval_pexpr env expr)
+  | Loop_ir.Distributed_for _ ->
+      invalid_arg "Part_eval: distributed loop reached partition evaluator"
+
+let eval_partitions env prog =
+  let loops = ref [] in
+  List.iter
+    (fun s ->
+      match s with
+      | Loop_ir.Distributed_for _ -> loops := s :: !loops
+      | _ -> eval_stmt env s)
+    prog.Loop_ir.stmts;
+  List.rev !loops

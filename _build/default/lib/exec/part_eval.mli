@@ -1,0 +1,36 @@
+(** Evaluation of partitioning statements: executes the coloring loops and
+    [partitionBy*]/image/preimage IR of a lowered program against bound
+    operands, materializing real {!Spdistal_runtime.Partition} values.  This
+    is the runtime-analysis half of SpDISTAL's implementation (paper §V-A):
+    what Legion's dependent partitioning performs for the generated code. *)
+
+open Spdistal_runtime
+open Spdistal_ir
+
+type env = {
+  bindings : Operand.bindings;
+  colorings : (string, (int * int) list ref) Hashtbl.t;
+  partitions : (string, Partition.t) Hashtbl.t;
+  mutable dep_ops : int;  (** dependent-partitioning operations executed *)
+}
+
+val create : Operand.bindings -> env
+
+(** Resolve a symbolic dimension. *)
+val eval_dim : env -> Loop_ir.dim_expr -> int
+
+(** Resolve arithmetic under a color binding. *)
+val eval_aexpr : env -> color:(string * int) -> Loop_ir.aexpr -> int
+
+(** Index space of a region reference. *)
+val rref_ispace : env -> Loop_ir.rref -> Iset.t
+
+(** Execute one partitioning statement ([Distributed_for] is rejected —
+    that belongs to the interpreter). *)
+val eval_stmt : env -> Loop_ir.stmt -> unit
+
+(** Execute every partitioning statement of a program, stopping at (and
+    returning) the distributed loops. *)
+val eval_partitions : env -> Loop_ir.prog -> Loop_ir.stmt list
+
+val find_partition : env -> string -> Partition.t

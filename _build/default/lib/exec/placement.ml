@@ -1,0 +1,73 @@
+open Spdistal_runtime
+open Spdistal_ir
+
+type residency =
+  | Replicated_everywhere
+  | Vals_partitioned of Partition.t
+  | Dim_partitioned of { dim : int; part : Partition.t }
+  | Not_resident
+
+type t = (string * residency) list
+
+let find t name =
+  match List.assoc_opt name t with Some r -> r | None -> Not_resident
+
+let of_tdn ~machine ~bindings name tdn =
+  match ((Operand.find bindings name).Operand.data, tdn) with
+  | _, Tdn.Replicated -> Replicated_everywhere
+  | Operand.Vec _, Tdn.Blocked _ ->
+      let v = Operand.find_vec bindings name in
+      Dim_partitioned
+        {
+          dim = 0;
+          part = Partition.equal_blocks (Iset.range v.Spdistal_formats.Dense.n) (Machine.pieces machine);
+        }
+  | Operand.Mat _, Tdn.Blocked { tensor_dim; _ } ->
+      let m = Operand.find_mat bindings name in
+      let n =
+        if tensor_dim = 0 then m.Spdistal_formats.Dense.rows
+        else m.Spdistal_formats.Dense.cols
+      in
+      Dim_partitioned
+        {
+          dim = tensor_dim;
+          part = Partition.equal_blocks (Iset.range n) (Machine.pieces machine);
+        }
+  | Operand.Mat _, Tdn.Tiled { mappings = (tensor_dim, machine_dim) :: _ } ->
+      let m = Operand.find_mat bindings name in
+      let n =
+        if tensor_dim = 0 then m.Spdistal_formats.Dense.rows
+        else m.Spdistal_formats.Dense.cols
+      in
+      (* Blocked by the named machine grid dimension, so the partition's
+         color count identifies which grid axis a piece indexes it with. *)
+      let count =
+        if Array.length machine.Machine.grid > machine_dim then
+          machine.Machine.grid.(machine_dim)
+        else Machine.pieces machine
+      in
+      Dim_partitioned
+        { dim = tensor_dim; part = Partition.equal_blocks (Iset.range n) count }
+  | Operand.Sparse tensor, _ ->
+      (* Lower the TDN's partitioning program (§V-C) and execute it; the
+         tensor's vals partition is its residency. *)
+      let env_l = Operand.env_of_bindings bindings in
+      let prog =
+        Lower.placement_of_tdn ~env:env_l ~grid:machine.Machine.grid ~tensor:name
+          ~order:(Spdistal_formats.Tensor.order tensor)
+          tdn
+      in
+      let penv = Part_eval.create bindings in
+      ignore (Part_eval.eval_partitions penv prog);
+      Vals_partitioned (Part_eval.find_partition penv (name ^ "ValsPart"))
+  | (Operand.Vec _ | Operand.Mat _), _ ->
+      invalid_arg "Placement.of_tdn: unsupported dense distribution"
+
+let resident_set t ~tensor ~comm_dim ~piece_subset =
+  match find t tensor with
+  | Replicated_everywhere -> `All
+  | Not_resident -> `Nothing
+  | Vals_partitioned part ->
+      if comm_dim = -1 then `Set (piece_subset part) else `Nothing
+  | Dim_partitioned { dim; part } ->
+      if dim = comm_dim then `Set (piece_subset part) else `Nothing

@@ -1,0 +1,14 @@
+(** Dense reference evaluation of TIN statements, for correctness checking.
+
+    Evaluates the statement by brute force over the full Cartesian product of
+    index domains — trustworthy but only usable on small inputs (tests). *)
+
+module Tin := Spdistal_ir.Tin
+
+(** [reference bindings stmt] computes the statement's result densely into a
+    fresh map keyed by lhs coordinates (zero entries omitted). *)
+val reference : Operand.bindings -> Tin.stmt -> (int list, float) Hashtbl.t
+
+(** [max_error bindings stmt] compares the bound output operand against the
+    dense reference and returns the largest absolute difference. *)
+val max_error : Operand.bindings -> Tin.stmt -> float

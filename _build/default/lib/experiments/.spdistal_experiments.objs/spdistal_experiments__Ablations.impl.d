@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Coo Core Cost Dense Format Level List Machine Operand Runner Schedule Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Spdistal_workloads Tdn Tensor Tin

@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Buffer Fig10 Fig11 Fig12 Fig13 Filename List Machine Printf Runner Spdistal_runtime Sys

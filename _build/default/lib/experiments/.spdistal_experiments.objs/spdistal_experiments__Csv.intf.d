@@ -1,0 +1,1 @@
+lib/experiments/csv.mli: Fig10 Fig11 Fig12 Fig13

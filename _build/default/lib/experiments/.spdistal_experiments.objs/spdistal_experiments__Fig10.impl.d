@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Datasets Format List Machine Option Runner Spdistal_baselines Spdistal_runtime Spdistal_workloads

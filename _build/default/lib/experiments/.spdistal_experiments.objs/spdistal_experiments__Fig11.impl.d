@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Datasets Format List Machine Printf Runner Spdistal_baselines Spdistal_runtime Spdistal_workloads String

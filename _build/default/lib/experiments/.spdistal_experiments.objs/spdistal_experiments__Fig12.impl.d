@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Datasets Format List Runner Spdistal_baselines Spdistal_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Common Format Fun List Machine Option Printf Runner Spdistal_baselines Spdistal_exec Spdistal_runtime Spdistal_workloads Synth

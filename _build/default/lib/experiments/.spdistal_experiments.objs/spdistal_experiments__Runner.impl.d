@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Assemble Common Core Cost Ctf Datasets Dense Machine Petsc Spdistal_baselines Spdistal_formats Spdistal_runtime Spdistal_workloads Tensor Trilinos

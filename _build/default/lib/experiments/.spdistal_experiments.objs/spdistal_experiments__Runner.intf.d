@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Machine Spdistal_baselines Spdistal_formats Spdistal_runtime Tensor

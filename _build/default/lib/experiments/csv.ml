@@ -1,0 +1,75 @@
+open Spdistal_runtime
+
+let time_cell = function
+  | Some t -> Printf.sprintf "%.9f" t
+  | None -> "DNC"
+
+let fig10 cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "kernel,system,nodes,tensor,seconds\n";
+  List.iter
+    (fun (c : Fig10.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%s,%s\n"
+           (Runner.kernel_name c.Fig10.kernel)
+           (Runner.system_name c.Fig10.system)
+           c.Fig10.nodes c.Fig10.tensor (time_cell c.Fig10.time)))
+    cells;
+  Buffer.contents b
+
+let fig11 cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "kernel,system,gpus,tensor,seconds\n";
+  List.iter
+    (fun (c : Fig11.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%s,%s\n"
+           (Runner.kernel_name c.Fig11.kernel)
+           (Runner.system_name c.Fig11.system)
+           c.Fig11.gpus c.Fig11.tensor (time_cell c.Fig11.time)))
+    cells;
+  Buffer.contents b
+
+let fig12 cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "kernel,nodes,tensor,gpu_seconds,cpu_seconds\n";
+  List.iter
+    (fun (c : Fig12.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%s,%s\n"
+           (Runner.kernel_name c.Fig12.kernel)
+           c.Fig12.nodes c.Fig12.tensor
+           (time_cell c.Fig12.gpu_time)
+           (time_cell c.Fig12.cpu_time)))
+    cells;
+  Buffer.contents b
+
+let fig13 points =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "kind,pieces,system,seconds\n";
+  List.iter
+    (fun (p : Fig13.point) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%s\n"
+           (match p.Fig13.kind with Machine.Cpu -> "cpu" | Machine.Gpu -> "gpu")
+           p.Fig13.pieces
+           (Runner.system_name p.Fig13.system)
+           (time_cell p.Fig13.time)))
+    points;
+  Buffer.contents b
+
+let write_all ~dir ~fig10:c10 ~fig11:c11 ~fig12:c12 ~fig13:c13 =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  [
+    write "fig10.csv" (fig10 c10);
+    write "fig11.csv" (fig11 c11);
+    write "fig12.csv" (fig12 c12);
+    write "fig13.csv" (fig13 c13);
+  ]

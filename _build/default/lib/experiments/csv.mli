@@ -1,0 +1,17 @@
+(** CSV export of every figure's cells, so the regenerated series can be
+    plotted directly against the paper's figures. *)
+
+val fig10 : Fig10.cell list -> string
+val fig11 : Fig11.cell list -> string
+val fig12 : Fig12.cell list -> string
+val fig13 : Fig13.point list -> string
+
+(** [write_all ~dir ...] writes fig10.csv .. fig13.csv under [dir] (created
+    if missing) and returns the paths. *)
+val write_all :
+  dir:string ->
+  fig10:Fig10.cell list ->
+  fig11:Fig11.cell list ->
+  fig12:Fig12.cell list ->
+  fig13:Fig13.point list ->
+  string list

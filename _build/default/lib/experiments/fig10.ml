@@ -1,0 +1,147 @@
+open Spdistal_runtime
+open Spdistal_workloads
+
+type cell = {
+  kernel : Runner.kernel;
+  system : Runner.system;
+  nodes : int;
+  tensor : string;
+  time : float option;
+  dnc_reason : string option;
+}
+
+let node_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+let datasets_for kernel =
+  match kernel with
+  | Runner.Spttv | Runner.Mttkrp -> Datasets.tensors3
+  | Runner.Spmv | Runner.Spmm | Runner.Spadd3 | Runner.Sddmm -> Datasets.matrices
+
+let compute ?(quick = false) () =
+  let node_counts = if quick then [ 1; 4 ] else node_counts in
+  let cells = ref [] in
+  List.iter
+    (fun kernel ->
+      let datasets = datasets_for kernel in
+      let datasets =
+        if quick then List.filteri (fun i _ -> i < 2) datasets else datasets
+      in
+      List.iter
+        (fun (e : Datasets.entry) ->
+          let b = e.Datasets.load () in
+          List.iter
+            (fun nodes ->
+              let machine = Runner.cpu_machine ~nodes in
+              List.iter
+                (fun system ->
+                  let r = Runner.run ~kernel ~system ~machine b in
+                  cells :=
+                    {
+                      kernel;
+                      system;
+                      nodes;
+                      tensor = e.Datasets.ds_name;
+                      time =
+                        (match r.Spdistal_baselines.Common.dnc with
+                        | None -> Some r.Spdistal_baselines.Common.time
+                        | Some _ -> None);
+                      dnc_reason = r.Spdistal_baselines.Common.dnc;
+                    }
+                    :: !cells)
+                (Runner.systems_for kernel Machine.Cpu))
+            node_counts)
+        datasets)
+    Runner.all_kernels;
+  List.rev !cells
+
+let find cells ~kernel ~system ~nodes ~tensor =
+  List.find_opt
+    (fun c ->
+      c.kernel = kernel && c.system = system && c.nodes = nodes
+      && c.tensor = tensor)
+    cells
+
+let geomean = function
+  | [] -> None
+  | xs ->
+      Some (exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs)))
+
+let median = function
+  | [] -> None
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      Some (if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.)
+
+let median_speedup cells ~kernel ~vs =
+  let ratios =
+    List.filter_map
+      (fun c ->
+        if c.kernel = kernel && c.system = vs then
+          match
+            ( c.time,
+              Option.bind
+                (find cells ~kernel ~system:Runner.Spdistal ~nodes:c.nodes
+                   ~tensor:c.tensor)
+                (fun s -> s.time) )
+          with
+          | Some t_other, Some t_spd when t_spd > 0. -> Some (t_other /. t_spd)
+          | _ -> None
+        else None)
+      cells
+  in
+  median ratios
+
+let print fmt cells =
+  let kernels = List.sort_uniq compare (List.map (fun c -> c.kernel) cells) in
+  let nodes_list = List.sort_uniq compare (List.map (fun c -> c.nodes) cells) in
+  Format.fprintf fmt
+    "@[<v>=== Figure 10: CPU strong scaling (speedup vs SpDISTAL on 1 node, \
+     geomean over tensors) ===@,";
+  List.iter
+    (fun kernel ->
+      Format.fprintf fmt "@,-- %s --@," (Runner.kernel_name kernel);
+      Format.fprintf fmt "%-18s" "system \\ nodes";
+      List.iter (fun n -> Format.fprintf fmt "%10d" n) nodes_list;
+      Format.fprintf fmt "@,";
+      let systems =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c -> if c.kernel = kernel then Some c.system else None)
+             cells)
+      in
+      List.iter
+        (fun system ->
+          Format.fprintf fmt "%-18s" (Runner.system_name system);
+          List.iter
+            (fun nodes ->
+              let speedups =
+                List.filter_map
+                  (fun c ->
+                    if c.kernel = kernel && c.system = system && c.nodes = nodes
+                    then
+                      match
+                        ( c.time,
+                          Option.bind
+                            (find cells ~kernel ~system:Runner.Spdistal ~nodes:1
+                               ~tensor:c.tensor)
+                            (fun s -> s.time) )
+                      with
+                      | Some t, Some base when t > 0. -> Some (base /. t)
+                      | _ -> None
+                    else None)
+                  cells
+              in
+              match geomean speedups with
+              | Some g -> Format.fprintf fmt "%10.2f" g
+              | None -> Format.fprintf fmt "%10s" "DNC")
+            nodes_list;
+          (match median_speedup cells ~kernel ~vs:system with
+          | Some m when system <> Runner.Spdistal ->
+              Format.fprintf fmt "   (SpDISTAL %.1fx median)" m
+          | _ -> ());
+          Format.fprintf fmt "@,")
+        systems)
+    kernels;
+  Format.fprintf fmt "@]"

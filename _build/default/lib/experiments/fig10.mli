@@ -1,0 +1,28 @@
+(** Reproduction of paper Figure 10: CPU strong scaling of SpMV, SpMM,
+    SpAdd3, SDDMM, SpTTV and SpMTTKRP for SpDISTAL, PETSc, Trilinos and CTF
+    over the Table II dataset analogs.
+
+    Each cell is one (kernel, system, node count, tensor) run; the printed
+    series are speedups normalized to SpDISTAL on one node, averaged
+    (geometric mean) over tensors, matching the paper's presentation, plus
+    the per-system median speedup the paper quotes in §VI-A1. *)
+
+type cell = {
+  kernel : Runner.kernel;
+  system : Runner.system;
+  nodes : int;
+  tensor : string;
+  time : float option;  (** [None] = DNC *)
+  dnc_reason : string option;
+}
+
+(** [compute ~quick ()] — [quick] restricts to two tensors per kernel and
+    node counts {1,4} (used by tests). *)
+val compute : ?quick:bool -> unit -> cell list
+
+val print : Format.formatter -> cell list -> unit
+
+(** Median over (tensor, nodes) cells of [t_other / t_spdistal] at equal
+    node count; the paper's headline numbers. *)
+val median_speedup :
+  cell list -> kernel:Runner.kernel -> vs:Runner.system -> float option

@@ -1,0 +1,132 @@
+open Spdistal_runtime
+open Spdistal_workloads
+
+type cell = {
+  kernel : Runner.kernel;
+  system : Runner.system;
+  gpus : int;
+  tensor : string;
+  time : float option;
+  dnc_reason : string option;
+}
+
+let gpu_counts = function
+  | Runner.Spmv -> [ 1; 2; 4; 8 ]
+  | _ -> [ 1; 2; 4; 8; 16; 32 ]
+
+let kernels = [ Runner.Spmv; Runner.Spmm; Runner.Spadd3; Runner.Sddmm ]
+
+let compute ?(quick = false) () =
+  let cells = ref [] in
+  List.iter
+    (fun kernel ->
+      let counts = if quick then [ 1; 4 ] else gpu_counts kernel in
+      let datasets =
+        if quick then List.filteri (fun i _ -> i < 2) Datasets.matrices
+        else Datasets.matrices
+      in
+      List.iter
+        (fun (e : Datasets.entry) ->
+          let b = e.Datasets.load () in
+          List.iter
+            (fun gpus ->
+              let machine = Runner.gpu_machine ~gpus in
+              List.iter
+                (fun system ->
+                  let r = Runner.run ~kernel ~system ~machine b in
+                  cells :=
+                    {
+                      kernel;
+                      system;
+                      gpus;
+                      tensor = e.Datasets.ds_name;
+                      time =
+                        (match r.Spdistal_baselines.Common.dnc with
+                        | None -> Some r.Spdistal_baselines.Common.time
+                        | Some _ -> None);
+                      dnc_reason = r.Spdistal_baselines.Common.dnc;
+                    }
+                    :: !cells)
+                (Runner.systems_for kernel Machine.Gpu))
+            counts)
+        datasets)
+    kernels;
+  List.rev !cells
+
+let win_rate cells ~kernel =
+  let keys =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun c -> if c.kernel = kernel then Some (c.tensor, c.gpus) else None)
+         cells)
+  in
+  let wins =
+    List.fold_left
+      (fun acc (tensor, gpus) ->
+        let group =
+          List.filter
+            (fun c -> c.kernel = kernel && c.tensor = tensor && c.gpus = gpus)
+            cells
+        in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              match (c.time, acc) with
+              | Some t, None -> Some (c.system, t)
+              | Some t, Some (_, bt) when t < bt -> Some (c.system, t)
+              | _ -> acc)
+            None group
+        in
+        match best with
+        | Some ((Runner.Spdistal | Runner.Spdistal_batched), _) -> acc + 1
+        | _ -> acc)
+      0 keys
+  in
+  (wins, List.length keys)
+
+let print fmt cells =
+  Format.fprintf fmt
+    "@[<v>=== Figure 11: GPU strong scaling heatmaps (ms per box; DNC = \
+     OOM/unsupported) ===@,";
+  List.iter
+    (fun kernel ->
+      let kcells = List.filter (fun c -> c.kernel = kernel) cells in
+      if kcells <> [] then begin
+        let systems =
+          List.sort_uniq compare (List.map (fun c -> c.system) kcells)
+        in
+        let counts = List.sort_uniq compare (List.map (fun c -> c.gpus) kcells) in
+        let tensors = List.sort_uniq compare (List.map (fun c -> c.tensor) kcells) in
+        Format.fprintf fmt "@,-- %s (systems: %s) --@," (Runner.kernel_name kernel)
+          (String.concat " / " (List.map Runner.system_name systems));
+        Format.fprintf fmt "%-18s" "tensor \\ GPUs";
+        List.iter (fun g -> Format.fprintf fmt " %20d" g) counts;
+        Format.fprintf fmt "@,";
+        List.iter
+          (fun tensor ->
+            Format.fprintf fmt "%-18s" tensor;
+            List.iter
+              (fun gpus ->
+                let entries =
+                  List.map
+                    (fun system ->
+                      match
+                        List.find_opt
+                          (fun c ->
+                            c.system = system && c.gpus = gpus && c.tensor = tensor)
+                          kcells
+                      with
+                      | Some { time = Some t; _ } ->
+                          Printf.sprintf "%.1f" (t *. 1000.)
+                      | _ -> "DNC")
+                    systems
+                in
+                Format.fprintf fmt " %20s" (String.concat "/" entries))
+              counts;
+            Format.fprintf fmt "@,")
+          tensors;
+        let w, n = win_rate cells ~kernel in
+        Format.fprintf fmt "SpDISTAL fastest in %d/%d configurations@," w n
+      end)
+    kernels;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,19 @@
+(** Reproduction of paper Figure 12: GPU-vs-CPU heatmaps for SpTTV and
+    SpMTTKRP.  Each box compares SpDISTAL's GPU kernel (non-zero-based, 4
+    GPUs per node) against SpDISTAL's CPU kernel (row-based, all cores) on
+    the same number of nodes, reporting the speedup of the faster system. *)
+
+type cell = {
+  kernel : Runner.kernel;
+  nodes : int;
+  tensor : string;
+  gpu_time : float option;
+  cpu_time : float option;
+}
+
+val compute : ?quick:bool -> unit -> cell list
+val print : Format.formatter -> cell list -> unit
+
+(** Median GPU speedup over completing cells for a kernel (paper: 2.0x
+    SpTTV, 2.2x SpMTTKRP when data fits). *)
+val median_gpu_speedup : cell list -> kernel:Runner.kernel -> float option

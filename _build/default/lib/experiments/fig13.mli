@@ -1,0 +1,22 @@
+(** Reproduction of paper Figure 13: SpMV weak scaling on synthetic banded
+    matrices, SpDISTAL vs PETSc, CPUs and GPUs.
+
+    The problem grows with the machine (a constant number of non-zeros per
+    piece); ideal weak scaling keeps iteration time flat.  The paper reports
+    PETSc scaling perfectly, SpDISTAL's CPU kernel at 90-92% of PETSc, and
+    SpDISTAL's GPU kernel 1.05-1.29x {e faster} than PETSc's (deferred
+    execution hiding synchronization). *)
+
+type point = {
+  kind : Spdistal_runtime.Machine.proc_kind;
+  pieces : int;  (** nodes (CPU) or GPUs *)
+  system : Runner.system;
+  time : float option;
+}
+
+(** [compute ~quick ()] — full mode scales CPUs to 64 nodes and GPUs to 256
+    GPUs with ~35k non-zeros per piece (a further 4x size reduction from the
+    dataset scale, noted in EXPERIMENTS.md). *)
+val compute : ?quick:bool -> unit -> point list
+
+val print : Format.formatter -> point list -> unit

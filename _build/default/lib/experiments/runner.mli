@@ -1,0 +1,49 @@
+(** Uniform dispatch of (kernel, system, machine, dataset) cells: the engine
+    behind every evaluation figure.
+
+    Machines are Lassen nodes scaled by [Datasets.scale] (see
+    [Machine.scale_params]) so the ~5000x-scaled dataset analogs reproduce
+    the paper's absolute times and memory boundaries. *)
+
+open Spdistal_runtime
+open Spdistal_formats
+
+type kernel = Spmv | Spmm | Spadd3 | Sddmm | Spttv | Mttkrp
+
+type system =
+  | Spdistal  (** the schedule the paper uses for this kernel/machine kind *)
+  | Spdistal_batched  (** memory-conserving 2-D GPU SpMM *)
+  | Spdistal_cpu_leaf  (** SpDISTAL's CPU kernel (Fig. 12 comparisons) *)
+  | Petsc
+  | Trilinos
+  | Ctf
+
+val kernel_name : kernel -> string
+val system_name : system -> string
+
+val all_kernels : kernel list
+
+(** Systems compared for a kernel on the given processor kind, in the
+    paper's order (§VI-A). *)
+val systems_for : kernel -> Machine.proc_kind -> system list
+
+(** Scaled-Lassen machine constructors. *)
+val cpu_machine : nodes:int -> Machine.t
+
+val gpu_machine : gpus:int -> Machine.t
+
+(** [run ~kernel ~system ~machine tensor] executes one cell: real numerics,
+    simulated time.  [cols] is the dense width for SpMM/SDDMM/MTTKRP
+    (default 32).  Trilinos GPU runs use UVM. *)
+val run :
+  kernel:kernel ->
+  system:system ->
+  machine:Machine.t ->
+  ?cols:int ->
+  Tensor.t ->
+  Spdistal_baselines.Common.result
+
+(** Which kernels a dataset kind applies to. *)
+val kernels_for_matrix : kernel list
+
+val kernels_for_tensor3 : kernel list

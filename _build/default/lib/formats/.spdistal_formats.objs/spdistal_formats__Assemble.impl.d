@@ -1,0 +1,1 @@
+lib/formats/assemble.ml: Array Level Region Spdistal_runtime Tensor

@@ -1,0 +1,1 @@
+lib/formats/convert.ml: Array Coo Level Tensor

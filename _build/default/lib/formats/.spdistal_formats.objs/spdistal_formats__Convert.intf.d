@@ -1,0 +1,1 @@
+lib/formats/convert.mli: Level Tensor

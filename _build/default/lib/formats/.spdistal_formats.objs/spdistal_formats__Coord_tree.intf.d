@@ -1,0 +1,1 @@
+lib/formats/coord_tree.mli: Format Tensor

@@ -1,0 +1,1 @@
+lib/formats/level.ml: Format Region Spdistal_runtime

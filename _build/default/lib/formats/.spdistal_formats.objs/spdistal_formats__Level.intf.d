@@ -1,0 +1,1 @@
+lib/formats/level.mli: Format Region Spdistal_runtime

@@ -1,0 +1,1 @@
+lib/formats/tensor.ml: Array Coo Format Level List Region Spdistal_runtime

@@ -1,0 +1,1 @@
+lib/formats/tensor.mli: Coo Format Level Region Spdistal_runtime

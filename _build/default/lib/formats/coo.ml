@@ -1,0 +1,90 @@
+type t = { dims : int array; coords : int array array; vals : float array }
+
+let order t = Array.length t.dims
+let nnz t = Array.length t.vals
+
+let make dims entries =
+  let order = Array.length dims in
+  let n = List.length entries in
+  let coords = Array.init order (fun _ -> Array.make n 0) in
+  let vals = Array.make n 0. in
+  List.iteri
+    (fun k (c, v) ->
+      if Array.length c <> order then invalid_arg "Coo.make: arity mismatch";
+      Array.iteri
+        (fun d cd ->
+          if cd < 0 || cd >= dims.(d) then
+            invalid_arg
+              (Printf.sprintf "Coo.make: coord %d out of bounds [0,%d) in dim %d"
+                 cd dims.(d) d);
+          coords.(d).(k) <- cd)
+        c;
+      vals.(k) <- v)
+    entries;
+  { dims; coords; vals }
+
+let compare_at t i j =
+  let rec go d =
+    if d = order t then 0
+    else
+      let c = compare t.coords.(d).(i) t.coords.(d).(j) in
+      if c <> 0 then c else go (d + 1)
+  in
+  go 0
+
+let sort_dedup ?(drop_zeros = false) t =
+  let n = nnz t in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (compare_at t) idx;
+  (* Walk sorted entries, summing runs of equal coordinates. *)
+  let out_coords = Array.map (fun _ -> ref []) t.coords in
+  let out_vals = ref [] in
+  let emit k v =
+    if not (drop_zeros && v = 0.) then begin
+      Array.iteri (fun d l -> l := t.coords.(d).(k) :: !l) out_coords;
+      out_vals := v :: !out_vals
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let k = idx.(!i) in
+    let acc = ref t.vals.(k) in
+    incr i;
+    while !i < n && compare_at t k idx.(!i) = 0 do
+      acc := !acc +. t.vals.(idx.(!i));
+      incr i
+    done;
+    emit k !acc
+  done;
+  {
+    dims = t.dims;
+    coords = Array.map (fun l -> Array.of_list (List.rev !l)) out_coords;
+    vals = Array.of_list (List.rev !out_vals);
+  }
+
+let permute t perm =
+  if Array.length perm <> order t then invalid_arg "Coo.permute";
+  {
+    dims = Array.map (fun d -> t.dims.(d)) perm;
+    coords = Array.map (fun d -> t.coords.(d)) perm;
+    vals = t.vals;
+  }
+
+let iter f t =
+  let ord = order t in
+  let c = Array.make ord 0 in
+  for k = 0 to nnz t - 1 do
+    for d = 0 to ord - 1 do
+      c.(d) <- t.coords.(d).(k)
+    done;
+    f c t.vals.(k)
+  done
+
+let to_alist t =
+  let acc = ref [] in
+  iter (fun c v -> acc := (Array.to_list c, v) :: !acc) t;
+  List.rev !acc
+
+let equal a b =
+  a.dims = b.dims
+  && to_alist (sort_dedup a) = to_alist (sort_dedup b)

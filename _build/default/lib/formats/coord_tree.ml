@@ -1,0 +1,64 @@
+type node = { coord : int; children : node list; value : float option }
+type t = { dims : int array; roots : node list }
+
+let of_tensor tensor =
+  let ord = Tensor.order tensor in
+  (* Gather storage-order paths, then fold the sorted paths into a tree. *)
+  let paths = ref [] in
+  Tensor.iter_nnz tensor (fun logical _ v ->
+      let storage =
+        Array.to_list
+          (Array.map (fun m -> logical.(m)) tensor.Tensor.mode_order)
+      in
+      paths := (storage, v) :: !paths);
+  let paths = List.rev !paths in
+  let rec build depth paths =
+    if depth = ord then []
+    else
+      (* Group consecutive paths by head coordinate. *)
+      let rec group = function
+        | [] -> []
+        | (c :: rest, v) :: more ->
+            let same, others =
+              List.partition (fun (p, _) -> List.hd p = c) ((c :: rest, v) :: more)
+            in
+            let tails = List.map (fun (p, v) -> (List.tl p, v)) same in
+            let value =
+              if depth = ord - 1 then Some (snd (List.hd same)) else None
+            in
+            { coord = c; children = build (depth + 1) tails; value } :: group others
+        | ([], _) :: _ -> invalid_arg "Coord_tree: ragged path"
+      in
+      group paths
+  in
+  { dims = tensor.Tensor.dims; roots = build 0 paths }
+
+let paths t =
+  let acc = ref [] in
+  let rec go prefix n =
+    match (n.children, n.value) with
+    | [], Some v -> acc := (List.rev (n.coord :: prefix), v) :: !acc
+    | children, _ -> List.iter (go (n.coord :: prefix)) children
+  in
+  List.iter (go []) t.roots;
+  List.rev !acc
+
+let level_width t k =
+  let rec count depth nodes =
+    if depth = k then List.length nodes
+    else count (depth + 1) (List.concat_map (fun n -> n.children) nodes)
+  in
+  count 0 t.roots
+
+let rec pp_node fmt n =
+  match n.value with
+  | Some v -> Format.fprintf fmt "%d=%g" n.coord v
+  | None ->
+      Format.fprintf fmt "%d(%a)" n.coord
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") pp_node)
+        n.children
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>root(%a)@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") pp_node)
+    t.roots

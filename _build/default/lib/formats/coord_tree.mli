@@ -1,0 +1,19 @@
+(** Explicit coordinate trees (paper Fig. 7): the semantic model behind level
+    formats.  One tree level per tensor dimension; each root-to-leaf path is
+    a stored coordinate.  Used by tests to validate level-format encodings
+    and by the partitioning layer's documentation of derived partitions
+    (paper Fig. 8). *)
+
+type node = { coord : int; children : node list; value : float option }
+type t = { dims : int array; roots : node list }
+
+(** Build the coordinate tree of a tensor (in storage order). *)
+val of_tensor : Tensor.t -> t
+
+(** All root-to-leaf coordinate paths with their values, in order. *)
+val paths : t -> (int list * float) list
+
+(** Number of nodes at tree level [k] (0-based). *)
+val level_width : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+open Spdistal_runtime
+
+type kind = Dense_k | Compressed_k | Compressed_nonunique_k | Singleton_k
+
+type t =
+  | Dense of { dim : int }
+  | Compressed of { pos : (int * int) Region.t; crd : int Region.t }
+  | Singleton of { crd : int Region.t }
+
+let kind = function
+  | Dense _ -> Dense_k
+  | Compressed _ -> Compressed_k
+  | Singleton _ -> Singleton_k
+
+let extent ~parent_extent = function
+  | Dense { dim } -> parent_extent * dim
+  | Compressed { crd; _ } -> Region.extent crd
+  | Singleton _ -> parent_extent
+
+let bytes = function
+  | Dense _ -> 0
+  | Compressed { pos; crd } ->
+      Region.bytes ~elt_bytes:16 pos + Region.bytes ~elt_bytes:8 crd
+  | Singleton { crd } -> Region.bytes ~elt_bytes:8 crd
+
+let pp fmt = function
+  | Dense { dim } -> Format.fprintf fmt "Dense(%d)" dim
+  | Compressed { crd; _ } ->
+      Format.fprintf fmt "Compressed(%d nnz)" (Region.extent crd)
+  | Singleton { crd } ->
+      Format.fprintf fmt "Singleton(%d nnz)" (Region.extent crd)

@@ -1,0 +1,41 @@
+(** Level formats: per-dimension storage of a tensor's coordinate tree
+    (paper §II-B, §III-B, Fig. 7).
+
+    A level maps each {e parent position} to the coordinates present at this
+    tree level and to the {e positions} that index the next level:
+    - [Dense] stores every coordinate of the dimension: position arithmetic
+      is [parent_pos * dim + coord]; nothing is materialized except the
+      universe size.
+    - [Compressed] stores non-zero coordinates in a [crd] region and, per
+      parent position, an inclusive [(lo, hi)] range of [crd] indices in a
+      [pos] region — the tuple encoding SpDISTAL uses so that [pos] values
+      are index spaces amenable to image/preimage (paper Fig. 7). *)
+
+open Spdistal_runtime
+
+type kind =
+  | Dense_k
+  | Compressed_k
+  | Compressed_nonunique_k
+      (** like [Compressed_k] but duplicate coordinates under one parent are
+          kept as distinct positions — the row level of a COO matrix (paper
+          Fig. 3's coordinate encoding) *)
+  | Singleton_k
+      (** exactly one coordinate per parent position, stored in a [crd]
+          parallel to the parent's positions — the trailing levels of COO *)
+
+type t =
+  | Dense of { dim : int }
+  | Compressed of { pos : (int * int) Region.t; crd : int Region.t }
+  | Singleton of { crd : int Region.t }
+
+val kind : t -> kind
+
+(** Number of positions this level exposes to its child, given the parent's
+    position extent. *)
+val extent : parent_extent:int -> t -> int
+
+(** Storage footprint in bytes (8 B per pos tuple half / crd entry). *)
+val bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

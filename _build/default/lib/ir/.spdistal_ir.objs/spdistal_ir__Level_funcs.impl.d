@@ -1,0 +1,1 @@
+lib/ir/level_funcs.ml: Loop_ir Printf Spdistal_formats

@@ -1,0 +1,1 @@
+lib/ir/level_funcs.mli: Loop_ir Spdistal_formats

@@ -1,0 +1,1 @@
+lib/ir/loop_ir.ml: Array List Tin

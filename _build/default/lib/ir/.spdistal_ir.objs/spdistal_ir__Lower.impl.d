@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Level_funcs List Loop_ir Option Printf Schedule Spdistal_formats Tdn Tin

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Loop_ir Schedule Spdistal_formats Tdn Tin

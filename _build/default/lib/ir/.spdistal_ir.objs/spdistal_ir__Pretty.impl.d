@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Format List Loop_ir Printf String Tin

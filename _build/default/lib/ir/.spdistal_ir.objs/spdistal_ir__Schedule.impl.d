@@ -1,0 +1,1 @@
+lib/ir/schedule.ml: Format Hashtbl List Printf String Tin

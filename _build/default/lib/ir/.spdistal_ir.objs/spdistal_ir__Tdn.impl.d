@@ -1,0 +1,1 @@
+lib/ir/tdn.ml: Array Format List Printf Schedule String Tin

@@ -1,0 +1,1 @@
+lib/ir/tdn.mli: Format Schedule Tin

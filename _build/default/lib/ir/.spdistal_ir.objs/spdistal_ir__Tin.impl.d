@@ -1,0 +1,1 @@
+lib/ir/tin.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/ir/tin.mli: Format

@@ -1,0 +1,184 @@
+open Loop_ir
+module Level = Spdistal_formats.Level
+
+type ctx = { tensor : string; level : int; kind : Level.kind }
+type finalized = { stmts : stmt list; up : string; down : string }
+
+let part_name ctx suffix = Printf.sprintf "%s%d%s" ctx.tensor (ctx.level + 1) suffix
+let coloring_name ctx = part_name ctx "Coloring"
+
+let init_universe_partition ctx =
+  let c = coloring_name ctx in
+  (Init_coloring c, c)
+
+let create_universe_partition_entry _ctx ~coloring ~lo ~hi =
+  Coloring_entry { coloring; lo; hi }
+
+let finalize_universe_partition ctx ~coloring =
+  match ctx.kind with
+  | Level.Singleton_k ->
+      (* crd parallels the parent positions: one bucketing serves both. *)
+      let p = part_name ctx "CrdPart" in
+      {
+        stmts =
+          [
+            Def_partition
+              {
+                pname = p;
+                expr = By_value_ranges { target = Crd_r (ctx.tensor, ctx.level); coloring };
+              };
+          ];
+        up = p;
+        down = p;
+      }
+  | Level.Dense_k ->
+      (* P = partitionByBounds(C, dom); same partition flows up and down. *)
+      let p = part_name ctx "Part" in
+      {
+        stmts =
+          [ Def_partition { pname = p; expr = By_bounds { target = Dom_r (ctx.tensor, ctx.level); coloring } } ];
+        up = p;
+        down = p;
+      }
+  | Level.Compressed_k | Level.Compressed_nonunique_k ->
+      (* P_crd = partitionByValueRanges(C_crd, crd);
+         P_pos = preimage(pos, P_crd, crd). *)
+      let pcrd = part_name ctx "CrdPart" and ppos = part_name ctx "PosPart" in
+      {
+        stmts =
+          [
+            Def_partition
+              {
+                pname = pcrd;
+                expr = By_value_ranges { target = Crd_r (ctx.tensor, ctx.level); coloring };
+              };
+            Def_partition
+              {
+                pname = ppos;
+                expr = Preimage_range { pos = Pos_r (ctx.tensor, ctx.level); part = pcrd };
+              };
+          ];
+        up = ppos;
+        down = pcrd;
+      }
+
+let init_non_zero_partition ctx =
+  let c = coloring_name ctx in
+  (Init_coloring c, c)
+
+let create_non_zero_partition_entry _ctx ~coloring ~lo ~hi =
+  Coloring_entry { coloring; lo; hi }
+
+let finalize_non_zero_partition ctx ~coloring =
+  match ctx.kind with
+  | Level.Singleton_k ->
+      let p = part_name ctx "CrdPart" in
+      {
+        stmts =
+          [
+            Def_partition
+              {
+                pname = p;
+                expr = By_bounds { target = Crd_r (ctx.tensor, ctx.level); coloring };
+              };
+          ];
+        up = p;
+        down = p;
+      }
+  | Level.Dense_k ->
+      let p = part_name ctx "Part" in
+      {
+        stmts =
+          [ Def_partition { pname = p; expr = By_bounds { target = Dom_r (ctx.tensor, ctx.level); coloring } } ];
+        up = p;
+        down = p;
+      }
+  | Level.Compressed_k | Level.Compressed_nonunique_k ->
+      (* P_crd = partitionByBounds(C_crd, crd);
+         P_pos = preimage(pos, P_crd, crd). *)
+      let pcrd = part_name ctx "CrdPart" and ppos = part_name ctx "PosPart" in
+      {
+        stmts =
+          [
+            Def_partition
+              {
+                pname = pcrd;
+                expr = By_bounds { target = Crd_r (ctx.tensor, ctx.level); coloring };
+              };
+            Def_partition
+              {
+                pname = ppos;
+                expr = Preimage_range { pos = Pos_r (ctx.tensor, ctx.level); part = pcrd };
+              };
+          ];
+        up = ppos;
+        down = pcrd;
+      }
+
+let partition_from_parent ctx ~parent =
+  match ctx.kind with
+  | Level.Singleton_k ->
+      (* Positions are shared with the parent. *)
+      let p = part_name ctx "Part" in
+      ([ Def_partition { pname = p; expr = Copy_part parent } ], p)
+  | Level.Dense_k ->
+      (* part = copy(parentPart), rescaled into this level's position space. *)
+      let p = part_name ctx "Part" in
+      ( [
+          Def_partition
+            {
+              pname = p;
+              expr = Scale_dense { part = parent; dim = Dim_of_level (ctx.tensor, ctx.level) };
+            };
+        ],
+        p )
+  | Level.Compressed_k | Level.Compressed_nonunique_k ->
+      (* P_pos = copy(parentPart); P_crd = image(pos, P_pos, crd). *)
+      let ppos = part_name ctx "PosPart" and pcrd = part_name ctx "CrdPart" in
+      ( [
+          Def_partition { pname = ppos; expr = Copy_part parent };
+          Def_partition
+            {
+              pname = pcrd;
+              expr =
+                Image_range
+                  {
+                    pos = Pos_r (ctx.tensor, ctx.level);
+                    part = ppos;
+                    target = Crd_r (ctx.tensor, ctx.level);
+                  };
+            };
+        ],
+        pcrd )
+
+let partition_from_child ctx ~child =
+  match ctx.kind with
+  | Level.Singleton_k ->
+      let p = part_name ctx "ParentPart" in
+      ([ Def_partition { pname = p; expr = Copy_part child } ], p)
+  | Level.Dense_k ->
+      let p = part_name ctx "ParentPart" in
+      ( [
+          Def_partition
+            {
+              pname = p;
+              expr = Unscale_dense { part = child; dim = Dim_of_level (ctx.tensor, ctx.level) };
+            };
+        ],
+        p )
+  | Level.Compressed_k | Level.Compressed_nonunique_k ->
+      (* P_crd = copy(childPart); P_pos = preimage(pos, P_crd, crd). *)
+      let ppos = part_name ctx "PosPart" and pcrd = part_name ctx "CrdPart" in
+      ( [
+          Def_partition { pname = pcrd; expr = Copy_part child };
+          Def_partition
+            {
+              pname = ppos;
+              expr = Preimage_range { pos = Pos_r (ctx.tensor, ctx.level); part = pcrd };
+            };
+        ],
+        ppos )
+
+let vals_partition ~tensor ~leaf_down =
+  let p = tensor ^ "ValsPart" in
+  ([ Def_partition { pname = p; expr = Copy_part leaf_down } ], p)

@@ -1,0 +1,8 @@
+(** Rendering of lowered programs in the style of the paper's generated
+    pseudo-code (Fig. 9b), so compiled partitioning plans are inspectable. *)
+
+val pp_aexpr : Format.formatter -> Loop_ir.aexpr -> unit
+val pp_rref : Format.formatter -> Loop_ir.rref -> unit
+val pp_stmt : Format.formatter -> Loop_ir.stmt -> unit
+val pp_prog : Format.formatter -> Loop_ir.prog -> unit
+val prog_to_string : Loop_ir.prog -> string

@@ -1,0 +1,134 @@
+type proc = Cpu_thread | Gpu_thread
+
+type cmd =
+  | Divide of { v : string; outer : string; inner : string }
+  | Split of { v : string; outer : string; inner : string; factor : int }
+  | Fuse of { f : string; a : string; b : string }
+  | Pos of { v : string; pv : string; tensor : string }
+  | Reorder of string list
+  | Distribute of string list
+  | Communicate of { tensors : string list; at : string }
+  | Parallelize of { v : string; proc : proc }
+  | Precompute of { v : string; tensors : string list }
+
+type t = cmd list
+
+type strategy =
+  | Universe_dist of { var : string }
+  | Non_zero_dist of { tensor : string; fused : string list }
+
+type plan = {
+  strategy : strategy;
+  dist_vars : string list;
+  secondary_var : string option;
+  communicated : (string list * string) list;
+  parallel_leaf : proc option;
+  workspace : bool;
+}
+
+(* Provenance of a derived variable back to the statement's original
+   variables. *)
+type root =
+  | Orig of string
+  | Fused_root of string list
+  | Pos_root of { tensor : string; fused : string list }
+
+let analyze stmt sched =
+  let originals = Tin.index_vars stmt in
+  let roots : (string, root) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace roots v (Orig v)) originals;
+  let root_of v =
+    match Hashtbl.find_opt roots v with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Schedule.analyze: unknown variable %s" v)
+  in
+  let vars_of_root = function
+    | Orig v -> [ v ]
+    | Fused_root vs -> vs
+    | Pos_root { fused; _ } -> fused
+  in
+  let communicated = ref [] and parallel_leaf = ref None in
+  let distributed = ref [] and workspace = ref false in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Divide { v; outer; inner } | Split { v; outer; inner; _ } ->
+          let r = root_of v in
+          Hashtbl.replace roots outer r;
+          Hashtbl.replace roots inner r
+      | Fuse { f; a; b } ->
+          let va = vars_of_root (root_of a) and vb = vars_of_root (root_of b) in
+          Hashtbl.replace roots f (Fused_root (va @ vb))
+      | Pos { v; pv; tensor } ->
+          let fused = vars_of_root (root_of v) in
+          Hashtbl.replace roots pv (Pos_root { tensor; fused })
+      | Reorder _ -> ()
+      | Distribute vs ->
+          List.iter (fun v -> ignore (root_of v)) vs;
+          distributed := !distributed @ vs
+      | Communicate { tensors; at } ->
+          ignore (root_of at);
+          communicated := (tensors, at) :: !communicated
+      | Parallelize { proc; _ } -> parallel_leaf := Some proc
+      | Precompute _ -> workspace := true)
+    sched;
+  let dist_vars = !distributed in
+  (match dist_vars with
+  | [] -> invalid_arg "Schedule.analyze: no distribute command"
+  | _ :: _ :: _ :: _ ->
+      invalid_arg "Schedule.analyze: at most two distributed variables"
+  | _ -> ());
+  let primary = List.hd dist_vars in
+  let secondary_var = match dist_vars with [ _; s ] -> Some s | _ -> None in
+  let strategy =
+    match root_of primary with
+    | Orig v -> Universe_dist { var = v }
+    | Fused_root _ ->
+        invalid_arg
+          "Schedule.analyze: distributing a fused coordinate loop requires a \
+           pos transformation first"
+    | Pos_root { tensor; fused } -> Non_zero_dist { tensor; fused }
+  in
+  (match (strategy, secondary_var) with
+  | Non_zero_dist _, Some _ ->
+      invalid_arg
+        "Schedule.analyze: 2-D distribution is only supported for \
+         coordinate-value loops"
+  | _ -> ());
+  {
+    strategy;
+    dist_vars;
+    secondary_var;
+    communicated = List.rev !communicated;
+    parallel_leaf = !parallel_leaf;
+    workspace = !workspace;
+  }
+
+let pp_proc fmt = function
+  | Cpu_thread -> Format.fprintf fmt "CPUThread"
+  | Gpu_thread -> Format.fprintf fmt "GPUThread"
+
+let pp_cmd fmt = function
+  | Divide { v; outer; inner } ->
+      Format.fprintf fmt "divide(%s, %s, %s, M)" v outer inner
+  | Split { v; outer; inner; factor } ->
+      Format.fprintf fmt "split(%s, %s, %s, %d)" v outer inner factor
+  | Fuse { f; a; b } -> Format.fprintf fmt "fuse(%s, %s, %s)" f a b
+  | Pos { v; pv; tensor } -> Format.fprintf fmt "pos(%s, %s, %s)" v pv tensor
+  | Reorder vs -> Format.fprintf fmt "reorder(%s)" (String.concat ", " vs)
+  | Distribute vs -> Format.fprintf fmt "distribute(%s)" (String.concat ", " vs)
+  | Communicate { tensors; at } ->
+      Format.fprintf fmt "communicate({%s}, %s)" (String.concat ", " tensors) at
+  | Parallelize { v; proc } ->
+      Format.fprintf fmt "parallelize(%s, %a)" v pp_proc proc
+  | Precompute { v; tensors } ->
+      Format.fprintf fmt "precompute(%s, {%s})" v (String.concat ", " tensors)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Format.fprintf fmt ".%a" pp_cmd c)
+    t;
+  Format.fprintf fmt "@]"

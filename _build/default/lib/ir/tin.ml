@@ -1,0 +1,101 @@
+type access = { tensor : string; indices : string list }
+
+type expr =
+  | Access of access
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Lit of float
+
+type stmt = { lhs : access; rhs : expr }
+
+let access tensor indices = Access { tensor; indices }
+let ( + ) a b = Add (a, b)
+let ( * ) a b = Mul (a, b)
+let assign tensor indices rhs = { lhs = { tensor; indices }; rhs }
+
+let rec expr_accesses = function
+  | Access a -> [ a ]
+  | Add (a, b) | Mul (a, b) -> expr_accesses a @ expr_accesses b
+  | Lit _ -> []
+
+let rhs_accesses s = expr_accesses s.rhs
+
+let index_vars s =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  List.iter note s.lhs.indices;
+  List.iter (fun a -> List.iter note a.indices) (rhs_accesses s);
+  List.rev !out
+
+let reduction_vars s =
+  List.filter (fun v -> not (List.mem v s.lhs.indices)) (index_vars s)
+
+let is_pure_addition s =
+  let rec go = function
+    | Access _ | Lit _ -> true
+    | Add (a, b) -> go a && go b
+    | Mul _ -> false
+  in
+  go s.rhs
+
+let validate ~order_of s =
+  let check a =
+    let expected = order_of a.tensor in
+    if List.length a.indices <> expected then
+      invalid_arg
+        (Printf.sprintf "Tin.validate: %s accessed with %d indices, order %d"
+           a.tensor (List.length a.indices) expected)
+  in
+  check s.lhs;
+  List.iter check (rhs_accesses s);
+  let rhs_vars =
+    List.concat_map (fun a -> a.indices) (rhs_accesses s)
+  in
+  List.iter
+    (fun v ->
+      if not (List.mem v rhs_vars) then
+        invalid_arg
+          (Printf.sprintf "Tin.validate: lhs var %s not bound on the rhs" v))
+    s.lhs.indices
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s(%s)" a.tensor (String.concat "," a.indices)
+
+let rec pp_expr fmt = function
+  | Access a -> pp_access fmt a
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf fmt "%a * %a" pp_mul a pp_mul b
+  | Lit f -> Format.fprintf fmt "%g" f
+
+and pp_mul fmt = function
+  | Add _ as e -> Format.fprintf fmt "(%a)" pp_expr e
+  | e -> pp_expr fmt e
+
+let pp fmt s = Format.fprintf fmt "%a = %a" pp_access s.lhs pp_expr s.rhs
+let to_string s = Format.asprintf "%a" pp s
+
+let spmv = assign "a" [ "i" ] (access "B" [ "i"; "j" ] * access "c" [ "j" ])
+
+let spmm =
+  assign "A" [ "i"; "j" ] (access "B" [ "i"; "k" ] * access "C" [ "k"; "j" ])
+
+let spadd3 =
+  assign "A" [ "i"; "j" ]
+    (access "B" [ "i"; "j" ] + access "C" [ "i"; "j" ] + access "D" [ "i"; "j" ])
+
+let sddmm =
+  assign "A" [ "i"; "j" ]
+    (access "B" [ "i"; "j" ] * access "C" [ "i"; "k" ] * access "D" [ "k"; "j" ])
+
+let spttv =
+  assign "A" [ "i"; "j" ] (access "B" [ "i"; "j"; "k" ] * access "c" [ "k" ])
+
+let spmttkrp =
+  assign "A" [ "i"; "l" ]
+    (access "B" [ "i"; "j"; "k" ] * access "C" [ "j"; "l" ] * access "D" [ "k"; "l" ])

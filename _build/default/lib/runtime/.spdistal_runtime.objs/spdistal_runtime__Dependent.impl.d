@@ -1,0 +1,1 @@
+lib/runtime/dependent.ml: Array Iset Partition Region

@@ -1,0 +1,1 @@
+lib/runtime/dependent.mli: Iset Partition Region

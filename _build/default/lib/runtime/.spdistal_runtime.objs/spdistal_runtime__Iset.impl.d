@@ -1,0 +1,1 @@
+lib/runtime/iset.ml: Format List

@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/runtime/memstate.ml: Array Hashtbl Machine Printf

@@ -1,0 +1,1 @@
+lib/runtime/region.ml: Array Iset Printf

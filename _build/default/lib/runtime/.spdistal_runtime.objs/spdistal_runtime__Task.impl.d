@@ -1,0 +1,1 @@
+lib/runtime/task.ml: Array Cost List Machine

@@ -1,0 +1,75 @@
+type t = {
+  mutable total : float;
+  mutable compute : float;
+  mutable comm : float;
+  mutable overhead : float;
+  mutable bytes_moved : float;
+  mutable messages : int;
+  mutable launches : int;
+  mutable flops : float;
+}
+
+let create () =
+  {
+    total = 0.;
+    compute = 0.;
+    comm = 0.;
+    overhead = 0.;
+    bytes_moved = 0.;
+    messages = 0;
+    launches = 0;
+    flops = 0.;
+  }
+
+let reset t =
+  t.total <- 0.;
+  t.compute <- 0.;
+  t.comm <- 0.;
+  t.overhead <- 0.;
+  t.bytes_moved <- 0.;
+  t.messages <- 0;
+  t.launches <- 0;
+  t.flops <- 0.
+
+let add_compute t dt =
+  t.compute <- t.compute +. dt;
+  t.total <- t.total +. dt
+
+let add_comm t ?(bytes = 0.) ?(messages = 0) dt =
+  t.comm <- t.comm +. dt;
+  t.bytes_moved <- t.bytes_moved +. bytes;
+  t.messages <- t.messages + messages;
+  t.total <- t.total +. dt
+
+let add_overhead t dt =
+  t.overhead <- t.overhead +. dt;
+  t.total <- t.total +. dt
+
+let add_flops t f = t.flops <- t.flops +. f
+
+let record_launch t ~machine ~piece_times =
+  let critical = Array.fold_left Float.max 0. piece_times in
+  t.launches <- t.launches + 1;
+  add_compute t critical;
+  add_overhead t (Machine.launch_overhead machine)
+
+let record_launch_split t ~machine ~comm_times ~leaf_times =
+  let critical = ref 0. and leaf_max = ref 0. in
+  Array.iteri
+    (fun i c ->
+      critical := Float.max !critical (c +. leaf_times.(i));
+      leaf_max := Float.max !leaf_max leaf_times.(i))
+    comm_times;
+  t.launches <- t.launches + 1;
+  add_compute t !leaf_max;
+  add_comm t (Float.max 0. (!critical -. !leaf_max));
+  add_overhead t (Machine.launch_overhead machine)
+
+let total t = t.total
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%.6fs (compute %.6fs, comm %.6fs, overhead %.6fs; %.3e B moved, %d msgs, \
+     %d launches, %.3e flops)"
+    t.total t.compute t.comm t.overhead t.bytes_moved t.messages t.launches
+    t.flops

@@ -1,0 +1,41 @@
+(** Simulated-time accounting.
+
+    A [Cost.t] is the simulated clock of one experiment iteration.  The
+    runtime executes every kernel for real (numeric results are exact); only
+    {e time} is simulated, accumulated here from the {!Machine} model.
+    Distributed launches advance the clock by the {e maximum} over pieces of
+    per-piece (communication + compute) time, the BSP-style critical path. *)
+
+type t = {
+  mutable total : float;  (** simulated seconds *)
+  mutable compute : float;  (** critical-path compute component *)
+  mutable comm : float;  (** critical-path communication component *)
+  mutable overhead : float;  (** runtime/launch/synchronization component *)
+  mutable bytes_moved : float;  (** total bytes over all links *)
+  mutable messages : int;
+  mutable launches : int;
+  mutable flops : float;  (** total flops over all pieces *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Add sequential (non-overlapped) time of the given breakdown component. *)
+val add_compute : t -> float -> unit
+
+val add_comm : t -> ?bytes:float -> ?messages:int -> float -> unit
+val add_overhead : t -> float -> unit
+val add_flops : t -> float -> unit
+
+(** [record_launch t ~machine ~piece_times] advances the clock by the max of
+    per-piece times plus the machine's launch overhead. *)
+val record_launch : t -> machine:Machine.t -> piece_times:float array -> unit
+
+(** [record_launch_split t ~machine ~comm_times ~leaf_times] advances the
+    clock by [max over pieces (comm + leaf)] plus launch overhead, splitting
+    the breakdown between the comm and compute components. *)
+val record_launch_split :
+  t -> machine:Machine.t -> comm_times:float array -> leaf_times:float array -> unit
+
+val total : t -> float
+val pp : Format.formatter -> t -> unit

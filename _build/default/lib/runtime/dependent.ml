@@ -1,0 +1,51 @@
+let image_ranges (pos : (int * int) Region.t) (p : Partition.t) (target : Iset.t)
+    =
+  let subsets =
+    Array.map
+      (fun src ->
+        let ivals =
+          Iset.fold
+            (fun i acc ->
+              let lo, hi = Region.get pos i in
+              if hi < lo then acc else (lo, hi) :: acc)
+            src []
+        in
+        Iset.inter target (Iset.of_intervals ivals))
+      p.Partition.subsets
+  in
+  Partition.make target subsets
+
+let preimage_ranges (pos : (int * int) Region.t) (p : Partition.t) =
+  let buckets = Array.map (fun _ -> ref []) p.Partition.subsets in
+  Region.iter
+    (fun i (lo, hi) ->
+      if lo <= hi then
+        Array.iteri
+          (fun c dst ->
+            if Iset.intersects_interval dst lo hi then
+              buckets.(c) := (i, i) :: !(buckets.(c)))
+          p.Partition.subsets)
+    pos;
+  let subsets = Array.map (fun b -> Iset.of_intervals !b) buckets in
+  Partition.make pos.Region.ispace subsets
+
+let image_values (crd : int Region.t) (p : Partition.t) (target : Iset.t) =
+  let subsets =
+    Array.map
+      (fun src ->
+        let vals = Iset.fold (fun i acc -> Region.get crd i :: acc) src [] in
+        Iset.inter target (Iset.of_list vals))
+      p.Partition.subsets
+  in
+  Partition.make target subsets
+
+let preimage_values (crd : int Region.t) (p : Partition.t) =
+  let buckets = Array.map (fun _ -> ref []) p.Partition.subsets in
+  Region.iter
+    (fun i v ->
+      Array.iteri
+        (fun c dst -> if Iset.mem v dst then buckets.(c) := (i, i) :: !(buckets.(c)))
+        p.Partition.subsets)
+    crd;
+  let subsets = Array.map (fun b -> Iset.of_intervals !b) buckets in
+  Partition.make crd.Region.ispace subsets

@@ -1,0 +1,83 @@
+type t = { parent : Iset.t; subsets : Iset.t array; disjoint : bool }
+
+let compute_disjoint subsets =
+  (* Pairwise disjointness via a running union: total cardinality of the
+     union equals the sum of cardinalities iff all subsets are disjoint. *)
+  let sum = Array.fold_left (fun n s -> n + Iset.cardinal s) 0 subsets in
+  let uni = Iset.union_list (Array.to_list subsets) in
+  Iset.cardinal uni = sum
+
+let make parent subsets =
+  Array.iter
+    (fun s ->
+      if not (Iset.subset s parent) then
+        invalid_arg "Partition.make: subset escapes parent")
+    subsets;
+  { parent; subsets; disjoint = compute_disjoint subsets }
+
+let colors t = Array.length t.subsets
+let subset t c = t.subsets.(c)
+
+let block_bounds lo hi pieces =
+  (* [pieces] near-equal inclusive blocks covering [lo..hi]. *)
+  let n = hi - lo + 1 in
+  Array.init pieces (fun c ->
+      let b_lo = lo + c * n / pieces and b_hi = lo + ((c + 1) * n / pieces) - 1 in
+      (b_lo, b_hi))
+
+let equal_blocks is pieces =
+  if pieces <= 0 then invalid_arg "Partition.equal_blocks";
+  if Iset.is_empty is then
+    { parent = is; subsets = Array.make pieces Iset.empty; disjoint = true }
+  else
+    let lo = Iset.min_elt is and hi = Iset.max_elt is in
+    let subsets =
+      Array.map
+        (fun (blo, bhi) -> Iset.inter is (Iset.interval blo bhi))
+        (block_bounds lo hi pieces)
+    in
+    { parent = is; subsets; disjoint = true }
+
+let equal_cardinality is pieces =
+  if pieces <= 0 then invalid_arg "Partition.equal_cardinality";
+  let n = Iset.cardinal is in
+  let subsets =
+    Array.init pieces (fun c ->
+        let k_lo = c * n / pieces and k_hi = ((c + 1) * n / pieces) - 1 in
+        if k_hi < k_lo then Iset.empty
+        else
+          (* Elements of rank k_lo..k_hi. Both ranks map to concrete elements;
+             the subset is the intersection with that element interval, which
+             is exact because ranks are contiguous. *)
+          let e_lo = Iset.nth is k_lo and e_hi = Iset.nth is k_hi in
+          Iset.inter is (Iset.interval e_lo e_hi))
+  in
+  { parent = is; subsets; disjoint = true }
+
+let by_bounds is bounds =
+  let subsets =
+    Array.map (fun (lo, hi) -> Iset.inter is (Iset.interval lo hi)) bounds
+  in
+  { parent = is; subsets; disjoint = compute_disjoint subsets }
+
+let by_value_ranges ~values is ranges =
+  let buckets = Array.map (fun _ -> ref []) ranges in
+  Iset.iter
+    (fun i ->
+      let v = Region.get values i in
+      Array.iteri
+        (fun c (lo, hi) -> if v >= lo && v <= hi then buckets.(c) := i :: !(buckets.(c)))
+        ranges)
+    is;
+  let subsets = Array.map (fun b -> Iset.of_list !b) buckets in
+  { parent = is; subsets; disjoint = compute_disjoint subsets }
+
+let union_of_colors t = Iset.union_list (Array.to_list t.subsets)
+let is_complete t = Iset.equal (union_of_colors t) t.parent
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>partition (%s) of %a:@,"
+    (if t.disjoint then "disjoint" else "aliased")
+    Iset.pp t.parent;
+  Array.iteri (fun c s -> Format.fprintf fmt "  %d -> %a@," c Iset.pp s) t.subsets;
+  Format.fprintf fmt "@]"

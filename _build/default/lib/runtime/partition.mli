@@ -1,0 +1,48 @@
+(** Partitions: mappings from colors to (potentially overlapping) subsets of
+    an index space (paper §III-A).
+
+    A partition of an index space induces a partition of every region over
+    that index space; sub-regions are obtained with {!Region.subregion}.
+    Aliased (overlapping) partitions are first-class — preimages of shared
+    structure routinely produce them (paper Fig. 6b). *)
+
+type t = {
+  parent : Iset.t;  (** the partitioned index space *)
+  subsets : Iset.t array;  (** indexed by color *)
+  disjoint : bool;  (** [true] when subsets are pairwise disjoint *)
+}
+
+(** [make parent subsets] checks each subset is contained in [parent] and
+    computes disjointness. *)
+val make : Iset.t -> Iset.t array -> t
+
+val colors : t -> int
+val subset : t -> int -> Iset.t
+
+(** [equal_blocks is pieces] partitions [is] into [pieces] contiguous blocks
+    of near-equal {e universe} extent: the span [min..max] of [is] is divided
+    evenly and each block keeps the members of [is] that fall inside it.  This
+    is the paper's {e universe partition} (§II-B). *)
+val equal_blocks : Iset.t -> int -> t
+
+(** [equal_cardinality is pieces] partitions [is] into [pieces] contiguous
+    groups of near-equal {e cardinality} — the paper's {e non-zero partition}
+    (the tilde operator, §II-B). *)
+val equal_cardinality : Iset.t -> int -> t
+
+(** [by_bounds is bounds] partitions by explicit per-color inclusive index
+    bounds — the [partitionByBounds] operation of Table I. *)
+val by_bounds : Iset.t -> (int * int) array -> t
+
+(** [by_value_ranges ~values is ranges] colors index [i] of [is] with color
+    [c] iff [values.(i)] falls in [ranges.(c)] — the [partitionByValueRanges]
+    operation of Table I, used to bucket [crd] arrays by coordinate value. *)
+val by_value_ranges : values:int Region.t -> Iset.t -> (int * int) array -> t
+
+(** [union_of_colors p] is the set of indices covered by some color. *)
+val union_of_colors : t -> Iset.t
+
+(** [is_complete p] holds when every parent index is covered. *)
+val is_complete : t -> bool
+
+val pp : Format.formatter -> t -> unit

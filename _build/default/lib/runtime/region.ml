@@ -1,0 +1,32 @@
+type 'a t = { name : string; id : int; ispace : Iset.t; data : 'a array }
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let create name n init =
+  { name; id = next_id (); ispace = Iset.range n; data = Array.make (max n 0) init }
+
+let of_array name a =
+  { name; id = next_id (); ispace = Iset.range (Array.length a); data = a }
+
+let subregion r is =
+  if not (Iset.subset is r.ispace) then
+    invalid_arg (Printf.sprintf "Region.subregion: %s: not a subset" r.name);
+  { r with ispace = is }
+
+let get r i =
+  assert (Iset.mem i r.ispace);
+  r.data.(i)
+
+let set r i v =
+  assert (Iset.mem i r.ispace);
+  r.data.(i) <- v
+
+let size r = Iset.cardinal r.ispace
+let extent r = Array.length r.data
+let iter f r = Iset.iter (fun i -> f i r.data.(i)) r.ispace
+let fold f r init = Iset.fold (fun i acc -> f i r.data.(i) acc) r.ispace init
+let bytes ~elt_bytes r = elt_bytes * size r

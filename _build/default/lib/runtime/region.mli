@@ -1,0 +1,39 @@
+(** Regions: typed multi-element arrays addressed by a (linearized) index
+    space, the Legion-style storage abstraction of the runtime (paper §III-A).
+
+    A region couples an index space — the set of valid indices — with backing
+    storage.  Sub-regions produced by partitioning share the parent's backing
+    storage, exactly as Legion logical sub-regions view the same field data;
+    only the index space shrinks. *)
+
+type 'a t = private {
+  name : string;
+  id : int;  (** unique per allocation (sub-regions share their parent's) *)
+  ispace : Iset.t;  (** valid indices *)
+  data : 'a array;  (** backing store, addressed by global index *)
+}
+
+(** [create name n init] makes a region over [{0..n-1}] filled with [init]. *)
+val create : string -> int -> 'a -> 'a t
+
+(** [of_array name a] wraps an existing array (no copy). *)
+val of_array : string -> 'a array -> 'a t
+
+(** [subregion r is] is the view of [r] restricted to [is] (shared storage).
+    Raises [Invalid_argument] if [is] is not a subset of [r]'s index space. *)
+val subregion : 'a t -> Iset.t -> 'a t
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val size : 'a t -> int
+
+(** Number of addressable slots in the backing store (the parent extent). *)
+val extent : 'a t -> int
+
+(** [iter f r] applies [f idx value] over the region's index space. *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** Footprint in bytes given per-element size. *)
+val bytes : elt_bytes:int -> 'a t -> int

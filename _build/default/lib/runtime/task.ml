@@ -1,0 +1,60 @@
+type transfer = { bytes : float; intra_node : bool; messages : int }
+
+type work = {
+  flops : float;
+  bytes_read : float;
+  bytes_written : float;
+  atomics : bool;
+}
+
+let no_work = { flops = 0.; bytes_read = 0.; bytes_written = 0.; atomics = false }
+
+let ( ++ ) a b =
+  {
+    flops = a.flops +. b.flops;
+    bytes_read = a.bytes_read +. b.bytes_read;
+    bytes_written = a.bytes_written +. b.bytes_written;
+    atomics = a.atomics || b.atomics;
+  }
+
+let transfers_time machine ts =
+  List.fold_left
+    (fun acc t ->
+      acc
+      +. Machine.p2p_time machine ~intra_node:t.intra_node ~bytes:t.bytes
+      +. (float_of_int (max 0 (t.messages - 1)) *. machine.Machine.params.net_alpha))
+    0. ts
+
+let leaf_time machine w =
+  let base =
+    Machine.compute_time machine ~flops:w.flops
+      ~bytes:(w.bytes_read +. w.bytes_written)
+  in
+  if w.atomics then
+    let penalty =
+      match machine.Machine.kind with
+      | Machine.Cpu -> machine.Machine.params.atomic_penalty_cpu
+      | Machine.Gpu -> machine.Machine.params.atomic_penalty_gpu
+    in
+    base *. penalty
+  else base
+
+let index_launch cost machine ?(comm = fun _ -> []) ~work () =
+  let p = Machine.pieces machine in
+  let piece_times = Array.make p 0. in
+  let total_bytes = ref 0. and total_msgs = ref 0 in
+  for i = 0 to p - 1 do
+    let ts = comm i in
+    List.iter
+      (fun t ->
+        total_bytes := !total_bytes +. t.bytes;
+        total_msgs := !total_msgs + t.messages)
+      ts;
+    let w = work i in
+    Cost.add_flops cost w.flops;
+    piece_times.(i) <- transfers_time machine ts +. leaf_time machine w
+  done;
+  (* Book-keep volume without double-advancing the clock: the critical path
+     already includes per-piece comm time. *)
+  Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
+  Cost.record_launch cost ~machine ~piece_times

@@ -1,0 +1,41 @@
+(** Index-task launches: execute a shard function on every piece of a machine
+    and advance the simulated clock by the BSP critical path.
+
+    The shard function performs the {e real} computation for its piece (over
+    the sub-regions the caller selected) and reports the work it did; the
+    launch converts work and communication into simulated time via the
+    machine model. *)
+
+type transfer = { bytes : float; intra_node : bool; messages : int }
+
+type work = {
+  flops : float;
+  bytes_read : float;
+  bytes_written : float;
+  atomics : bool;
+      (** leaf performs reduction atomics (non-zero-split schedules) *)
+}
+
+val no_work : work
+val ( ++ ) : work -> work -> work
+
+(** [index_launch cost machine ~comm ~work] runs [work p] for every piece [p]
+    (sequentially in the host process — the simulated machine is parallel,
+    the simulator is deterministic), charging per-piece time
+    [comm_time p + leaf_time p] and taking the max across pieces, plus launch
+    overhead.  [comm p] lists the transfers that must land in piece [p]'s
+    memory before its task runs. *)
+val index_launch :
+  Cost.t ->
+  Machine.t ->
+  ?comm:(int -> transfer list) ->
+  work:(int -> work) ->
+  unit ->
+  unit
+
+(** Time of a list of transfers into one piece (serialized on its NIC). *)
+val transfers_time : Machine.t -> transfer list -> float
+
+(** Leaf execution time of [work] on one piece, including the atomic
+    penalty when [atomics] is set. *)
+val leaf_time : Machine.t -> work -> float

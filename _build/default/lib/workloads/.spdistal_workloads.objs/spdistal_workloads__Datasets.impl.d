@@ -1,0 +1,1 @@
+lib/workloads/datasets.ml: Format Hashtbl List Printf Spdistal_formats Synth Tensor

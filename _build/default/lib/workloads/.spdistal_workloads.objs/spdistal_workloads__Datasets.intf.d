@@ -1,0 +1,1 @@
+lib/workloads/datasets.mli: Format Spdistal_formats Tensor

@@ -1,0 +1,1 @@
+lib/workloads/srng.ml: Int64

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Coo Level List Spdistal_formats Srng Tensor

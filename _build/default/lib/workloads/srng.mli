@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 random streams — every workload is reproducible
+    from its seed, independent of OCaml's global RNG state. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Zipf-like integer in [0, n) with exponent [alpha] (approximated by
+    inverse-power transform; alpha > 0 skews toward small values). *)
+val zipf : t -> n:int -> alpha:float -> int

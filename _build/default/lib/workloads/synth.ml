@@ -1,0 +1,176 @@
+open Spdistal_formats
+
+let value rng = 1. +. Srng.float rng
+
+let of_entries ~name ~dims ?formats ?mode_order entries =
+  let formats =
+    match formats with
+    | Some f -> f
+    | None ->
+        Array.mapi
+          (fun i _ -> if i = 0 then Level.Dense_k else Level.Compressed_k)
+          dims
+  in
+  Tensor.of_coo ~name ~formats ?mode_order (Coo.make dims entries)
+
+let banded ~name ~n ~band =
+  (* Built directly in sorted order, array-backed: weak scaling instantiates
+     multi-million-non-zero instances of this generator. *)
+  let half = band / 2 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for o = -half to band - half - 1 do
+      let j = i + o in
+      if j >= 0 && j < n then incr count
+    done
+  done;
+  let is = Array.make !count 0 and js = Array.make !count 0 in
+  let vs = Array.make !count 0. in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for o = -half to band - half - 1 do
+      let j = i + o in
+      if j >= 0 && j < n then begin
+        is.(!k) <- i;
+        js.(!k) <- j;
+        vs.(!k) <- 1. +. float_of_int ((i + j) mod 5);
+        incr k
+      end
+    done
+  done;
+  Tensor.of_coo ~name
+    ~formats:[| Level.Dense_k; Level.Compressed_k |]
+    ~assume_sorted:true
+    { Coo.dims = [| n; n |]; coords = [| is; js |]; vals = vs }
+
+let uniform ~name ~rows ~cols ~nnz ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  for _ = 1 to nnz do
+    entries := ([| Srng.int rng rows; Srng.int rng cols |], value rng) :: !entries
+  done;
+  of_entries ~name ~dims:[| rows; cols |] !entries
+
+(* Scatter skewed draws over the id space: real graphs do not sort vertices
+   by degree, so heavy rows/slices must land at uncorrelated indices (block
+   distributions would otherwise see pathological imbalance). *)
+let scatter i n = (i * 0x9E3779B1) land 0x3FFFFFFF mod n
+
+let power_law ~name ~rows ~cols ~nnz ~alpha ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  (* Cap hub degrees: scaled-down universes over-concentrate a raw Zipf head
+     (a single analog row would carry ~10% of all non-zeros, which no
+     Table II matrix does).  Hubs top out near 1-2% of the non-zeros, like
+     the originals at this resolution. *)
+  let cap = max 32 (200 * nnz / rows) in
+  let degree = Array.make rows 0 in
+  for _ = 1 to nnz do
+    let i =
+      let z = scatter (Srng.zipf rng ~n:rows ~alpha) rows in
+      if degree.(z) >= cap then Srng.int rng rows else z
+    in
+    degree.(i) <- degree.(i) + 1;
+    let j =
+      (* Columns mix a skewed hub component with a uniform tail, like web
+         link structure. *)
+      if Srng.float rng < 0.5 then scatter (Srng.zipf rng ~n:cols ~alpha) cols
+      else Srng.int rng cols
+    in
+    entries := ([| i; j |], value rng) :: !entries
+  done;
+  of_entries ~name ~dims:[| rows; cols |] !entries
+
+let bounded_degree ~name ~rows ~cols ~lo ~hi ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    let d = lo + Srng.int rng (hi - lo + 1) in
+    for _ = 1 to d do
+      entries := ([| i; Srng.int rng cols |], value rng) :: !entries
+    done
+  done;
+  of_entries ~name ~dims:[| rows; cols |] !entries
+
+let dense_rows ~name ~rows ~cols ~row_nnz ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for _ = 1 to row_nnz do
+      entries := ([| i; Srng.int rng cols |], value rng) :: !entries
+    done
+  done;
+  of_entries ~name ~dims:[| rows; cols |] !entries
+
+let stencil ~name ~n ~points =
+  let entries = ref [] in
+  let offsets =
+    (* Near diagonal plus widening strided bands, KKT-like. *)
+    List.init points (fun k ->
+        match k with
+        | 0 -> 0
+        | k when k mod 2 = 1 -> (k + 1) / 2
+        | k -> -(k / 2) * (1 + (k / 4)))
+  in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun o ->
+        let j = i + o in
+        if j >= 0 && j < n then
+          entries := ([| i; j |], 1. +. float_of_int (abs o mod 7)) :: !entries)
+      offsets
+  done;
+  of_entries ~name ~dims:[| n; n |] !entries
+
+let csf = [| Level.Dense_k; Level.Compressed_k; Level.Compressed_k |]
+
+let tensor3_uniform ~name ~dims ~nnz ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  for _ = 1 to nnz do
+    entries :=
+      ( [| Srng.int rng dims.(0); Srng.int rng dims.(1); Srng.int rng dims.(2) |],
+        value rng )
+      :: !entries
+  done;
+  of_entries ~name ~dims ~formats:csf !entries
+
+let tensor3_skewed ~name ~dims ~nnz ~alpha ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  (* Slice sizes are skewed but capped (cf. the matrix hub cap): no analog
+     slice may hold more than ~50x the mean. *)
+  let cap = max 16 (50 * nnz / dims.(0)) in
+  let slice = Array.make dims.(0) 0 in
+  for _ = 1 to nnz do
+    let i =
+      let z = scatter (Srng.zipf rng ~n:dims.(0) ~alpha) dims.(0) in
+      if slice.(z) >= cap then Srng.int rng dims.(0) else z
+    in
+    slice.(i) <- slice.(i) + 1;
+    entries :=
+      ( [|
+          i;
+          scatter (Srng.zipf rng ~n:dims.(1) ~alpha:(alpha /. 2.)) dims.(1);
+          Srng.int rng dims.(2);
+        |],
+        value rng )
+      :: !entries
+  done;
+  of_entries ~name ~dims ~formats:csf !entries
+
+let tensor3_dense_modes ~name ~dims ~nnz ~seed =
+  let rng = Srng.create seed in
+  let entries = ref [] in
+  let pairs = dims.(0) * dims.(1) in
+  let per_pair = max 1 (nnz / pairs) in
+  for i = 0 to dims.(0) - 1 do
+    for j = 0 to dims.(1) - 1 do
+      for _ = 1 to per_pair do
+        entries := ([| i; j; Srng.int rng dims.(2) |], value rng) :: !entries
+      done
+    done
+  done;
+  of_entries ~name ~dims
+    ~formats:[| Level.Dense_k; Level.Dense_k; Level.Compressed_k |]
+    !entries

@@ -1,0 +1,51 @@
+(** Synthetic sparse matrix and tensor generators.
+
+    Each generator targets one of the structure classes of the paper's
+    dataset (Table II): banded PDE-like matrices, uniform random, power-law
+    (web/social graph) degree distributions, bounded-degree (protein k-mer)
+    graphs, and hyper-sparse or dense-mode 3-tensors.  Generators are
+    deterministic in their seed; non-zero counts are approximate targets
+    (duplicates are merged). *)
+
+open Spdistal_formats
+
+(** [banded ~name ~n ~band] — square [n x n], [band] diagonals (the weak
+    scaling workload of paper Fig. 13). *)
+val banded : name:string -> n:int -> band:int -> Tensor.t
+
+(** [uniform ~name ~rows ~cols ~nnz ~seed] — uniformly random positions. *)
+val uniform : name:string -> rows:int -> cols:int -> nnz:int -> seed:int -> Tensor.t
+
+(** [power_law ~name ~rows ~cols ~nnz ~alpha ~seed] — Zipf row degrees
+    (web-graph / social-network class).  Larger [alpha] = heavier skew. *)
+val power_law :
+  name:string -> rows:int -> cols:int -> nnz:int -> alpha:float -> seed:int -> Tensor.t
+
+(** [bounded_degree ~name ~rows ~cols ~lo ~hi ~seed] — every row has between
+    [lo] and [hi] entries (protein-structure k-mer class). *)
+val bounded_degree :
+  name:string -> rows:int -> cols:int -> lo:int -> hi:int -> seed:int -> Tensor.t
+
+(** [dense_rows ~name ~rows ~cols ~row_nnz ~seed] — every row has exactly
+    [row_nnz] entries (Mycielskian-like heavy uniform rows). *)
+val dense_rows :
+  name:string -> rows:int -> cols:int -> row_nnz:int -> seed:int -> Tensor.t
+
+(** [stencil ~name ~n ~points] — [points]-diagonal symmetric band structure
+    with gaps (PDE/KKT class). *)
+val stencil : name:string -> n:int -> points:int -> Tensor.t
+
+(** [tensor3_uniform ~name ~dims ~nnz ~seed] — CSF (Dense, Compressed,
+    Compressed) 3-tensor with uniform coordinates. *)
+val tensor3_uniform : name:string -> dims:int array -> nnz:int -> seed:int -> Tensor.t
+
+(** [tensor3_skewed ~name ~dims ~nnz ~alpha ~seed] — Zipf-skewed slice sizes
+    (Freebase/NELL class). *)
+val tensor3_skewed :
+  name:string -> dims:int array -> nnz:int -> alpha:float -> seed:int -> Tensor.t
+
+(** [tensor3_dense_modes ~name ~dims ~nnz ~seed] — small dense outer modes
+    with many entries per (i, j) fiber, stored (Dense, Dense, Compressed)
+    like the "patents" tensor. *)
+val tensor3_dense_modes :
+  name:string -> dims:int array -> nnz:int -> seed:int -> Tensor.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Coo Format Gen Level QCheck QCheck_alcotest Spdistal_formats Spdistal_runtime String Tensor

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Common Coo Core Cost Ctf Dense Helpers Lazy List Machine Petsc Spdistal_baselines Spdistal_formats Spdistal_runtime Spdistal_workloads Tensor Trilinos

@@ -1,0 +1,1 @@
+test/test_dependent.ml: Alcotest Array Dependent Gen Helpers Iset Partition Printf QCheck Region Spdistal_formats Spdistal_runtime Tensor

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Assemble Convert Coo Coord_tree Dense Helpers Level List Region Spdistal_formats Spdistal_runtime Tensor

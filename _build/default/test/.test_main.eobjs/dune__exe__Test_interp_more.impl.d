@@ -1,0 +1,1 @@
+test/test_interp_more.ml: Alcotest Array Core Cost Dense Helpers List Machine Operand Printf Schedule Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Tdn Tensor Tin Validate

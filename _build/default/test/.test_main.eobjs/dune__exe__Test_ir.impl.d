@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Core Format Helpers List Loop_ir Lower Pretty Printf Schedule Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Tdn Tin

@@ -1,0 +1,1 @@
+test/test_iset.ml: Alcotest Helpers Iset List QCheck Spdistal_runtime

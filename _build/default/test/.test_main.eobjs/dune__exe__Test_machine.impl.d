@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cost Helpers Machine Memstate Spdistal_runtime Task

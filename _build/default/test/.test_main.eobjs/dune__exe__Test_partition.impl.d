@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Helpers Iset Partition QCheck Region Spdistal_runtime

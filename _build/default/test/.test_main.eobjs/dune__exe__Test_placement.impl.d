@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Coo Dense Helpers Iset Level List Machine Operand Partition Placement Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Tdn Tensor

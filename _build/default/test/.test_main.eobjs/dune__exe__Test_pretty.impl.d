@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Core Format Helpers List Loop_ir Lower Pretty Schedule Spdistal_formats Spdistal_ir Tin

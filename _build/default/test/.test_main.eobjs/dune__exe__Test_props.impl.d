@@ -1,0 +1,1 @@
+test/test_props.ml: Array Coo Core Dense Gen Helpers Level Machine Operand Printf QCheck Spdistal_exec Spdistal_formats Spdistal_ir Spdistal_runtime Tensor Validate

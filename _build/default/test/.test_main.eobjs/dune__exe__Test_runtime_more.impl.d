@@ -1,0 +1,1 @@
+test/test_runtime_more.ml: Alcotest Array Cost Format Fun Helpers Iset List Machine Partition Region Spdistal_formats Spdistal_runtime Task

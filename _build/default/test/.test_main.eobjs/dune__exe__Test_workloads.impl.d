@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Coo Datasets Format Helpers Level List Region Spdistal_baselines Spdistal_formats Spdistal_runtime Spdistal_workloads Srng Synth Tensor

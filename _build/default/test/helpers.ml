@@ -1,0 +1,89 @@
+(* Shared test utilities: deterministic random sparse structures, qcheck
+   generators, and comparison helpers. *)
+
+open Spdistal_formats
+
+let rng_state = ref 7
+
+let rand n =
+  rng_state := ((!rng_state * 1103515245) + 12345) land 0x3fffffff;
+  !rng_state mod n
+
+let reset_rng seed = rng_state := seed
+
+(* Random COO matrix with approximately [density] fill. *)
+let rand_coo_matrix ?(seed = 11) rows cols density =
+  reset_rng seed;
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if rand 1000 < int_of_float (density *. 1000.) then
+        entries := ([| i; j |], float_of_int (1 + rand 9)) :: !entries
+    done
+  done;
+  Coo.make [| rows; cols |] !entries
+
+let rand_csr ?seed ?(name = "B") rows cols density =
+  Tensor.csr ~name (rand_coo_matrix ?seed rows cols density)
+
+let rand_coo3 ?(seed = 13) d1 d2 d3 density =
+  reset_rng seed;
+  let entries = ref [] in
+  for i = 0 to d1 - 1 do
+    for j = 0 to d2 - 1 do
+      for k = 0 to d3 - 1 do
+        if rand 1000 < int_of_float (density *. 1000.) then
+          entries := ([| i; j; k |], float_of_int (1 + rand 9)) :: !entries
+      done
+    done
+  done;
+  Coo.make [| d1; d2; d3 |] !entries
+
+let rand_csf ?seed ?(name = "B") d1 d2 d3 density =
+  Tensor.of_coo ~name
+    ~formats:[| Level.Dense_k; Level.Compressed_k; Level.Compressed_k |]
+    (rand_coo3 ?seed d1 d2 d3 density)
+
+(* qcheck: a small random COO matrix (dims <= 12). *)
+let arb_coo_matrix =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* rows = int_range 1 12 in
+      let* cols = int_range 1 12 in
+      let* n = int_range 0 30 in
+      let* entries =
+        list_repeat n
+          (let* i = int_range 0 (rows - 1) in
+           let* j = int_range 0 (cols - 1) in
+           let* v = int_range 1 9 in
+           Gen.return ([| i; j |], float_of_int v))
+      in
+      Gen.return (Coo.make [| rows; cols |] entries))
+  in
+  make ~print:(fun c -> Format.asprintf "%d x %d coo, %d entries" c.Coo.dims.(0) c.Coo.dims.(1) (Coo.nnz c)) gen
+
+let arb_iset =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = int_range 0 8 in
+      let* ivals =
+        list_repeat n
+          (let* lo = int_range 0 60 in
+           let* len = int_range 0 8 in
+           Gen.return (lo, lo + len))
+      in
+      Gen.return (Spdistal_runtime.Iset.of_intervals ivals))
+  in
+  make ~print:(Format.asprintf "%a" Spdistal_runtime.Iset.pp) gen
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Substring search, for asserting on rendered output. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

@@ -1,0 +1,120 @@
+open Spdistal_runtime
+
+(* The CSR matrix of paper Fig. 7:
+   rows:  0 -> cols {0, 2}; 1 -> {}; 2 -> {1} (a 3x3 example). *)
+let pos = Region.of_array "pos" [| (0, 1); (2, 1); (2, 2) |]
+let crd = Region.of_array "crd" [| 0; 2; 1 |]
+
+let test_image_ranges () =
+  (* Partition rows {0} | {1,2}; image through pos colors crd positions. *)
+  let rows = Partition.by_bounds (Iset.range 3) [| (0, 0); (1, 2) |] in
+  let p = Dependent.image_ranges pos rows (Iset.range 3) in
+  Alcotest.(check (list int)) "row 0 owns crd 0,1" [ 0; 1 ]
+    (Iset.elements (Partition.subset p 0));
+  Alcotest.(check (list int)) "rows 1-2 own crd 2" [ 2 ]
+    (Iset.elements (Partition.subset p 1));
+  Alcotest.(check bool) "disjoint" true p.Partition.disjoint
+
+let test_preimage_ranges () =
+  (* Partition crd positions {0} | {1,2}; row 0 spans both colors. *)
+  let crdp = Partition.by_bounds (Iset.range 3) [| (0, 0); (1, 2) |] in
+  let p = Dependent.preimage_ranges pos crdp in
+  Alcotest.(check (list int)) "color 0 = row 0" [ 0 ]
+    (Iset.elements (Partition.subset p 0));
+  Alcotest.(check (list int)) "color 1 = rows 0 and 2" [ 0; 2 ]
+    (Iset.elements (Partition.subset p 1));
+  Alcotest.(check bool) "aliased (paper Fig. 6b)" false p.Partition.disjoint
+
+let test_image_values () =
+  let crdp = Partition.by_bounds (Iset.range 3) [| (0, 1); (2, 2) |] in
+  let p = Dependent.image_values crd crdp (Iset.range 3) in
+  Alcotest.(check (list int)) "values of positions 0,1" [ 0; 2 ]
+    (Iset.elements (Partition.subset p 0));
+  Alcotest.(check (list int)) "value of position 2" [ 1 ]
+    (Iset.elements (Partition.subset p 1))
+
+let test_preimage_values () =
+  let vals = Partition.by_bounds (Iset.range 3) [| (0, 0); (1, 2) |] in
+  let p = Dependent.preimage_values crd vals in
+  Alcotest.(check (list int)) "positions holding value 0" [ 0 ]
+    (Iset.elements (Partition.subset p 0));
+  Alcotest.(check (list int)) "positions holding values 1-2" [ 1; 2 ]
+    (Iset.elements (Partition.subset p 1))
+
+(* Property: image/preimage soundness on random CSR structures. *)
+let arb_csr_parts =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* coo = QCheck.gen Helpers.arb_coo_matrix in
+      let* pieces = int_range 1 4 in
+      Gen.return (Spdistal_formats.Tensor.csr ~name:"B" coo, pieces))
+  in
+  make ~print:(fun (t, p) ->
+      Printf.sprintf "%d nnz csr, %d pieces" (Spdistal_formats.Tensor.nnz t) p)
+    gen
+
+let prop_image_covers_children =
+  Helpers.qtest ~count:100 "image of complete row partition covers all crd"
+    arb_csr_parts
+    (fun (t, pieces) ->
+      let open Spdistal_formats in
+      if Tensor.nnz t = 0 then true
+      else begin
+        let pos = Tensor.pos_of t 1 and crd = Tensor.crd_of t 1 in
+        let rows = Partition.equal_blocks pos.Region.ispace pieces in
+        let p = Dependent.image_ranges pos rows crd.Region.ispace in
+        Partition.is_complete p && p.Partition.disjoint
+      end)
+
+let prop_preimage_sound =
+  Helpers.qtest ~count:100
+    "preimage contains exactly the rows whose ranges intersect" arb_csr_parts
+    (fun (t, pieces) ->
+      let open Spdistal_formats in
+      if Tensor.nnz t = 0 then true
+      else begin
+        let pos = Tensor.pos_of t 1 and crd = Tensor.crd_of t 1 in
+        let crdp = Partition.equal_cardinality crd.Region.ispace pieces in
+        let p = Dependent.preimage_ranges pos crdp in
+        let ok = ref true in
+        for c = 0 to pieces - 1 do
+          Region.iter
+            (fun r (lo, hi) ->
+              let expected =
+                lo <= hi
+                && Iset.intersects_interval (Partition.subset crdp c) lo hi
+              in
+              if expected <> Iset.mem r (Partition.subset p c) then ok := false)
+            pos
+        done;
+        !ok
+      end)
+
+let prop_galois =
+  Helpers.qtest ~count:100
+    "image of preimage covers the original subsets (Galois-style)"
+    arb_csr_parts
+    (fun (t, pieces) ->
+      let open Spdistal_formats in
+      if Tensor.nnz t = 0 then true
+      else begin
+        let pos = Tensor.pos_of t 1 and crd = Tensor.crd_of t 1 in
+        let crdp = Partition.equal_cardinality crd.Region.ispace pieces in
+        let rowp = Dependent.preimage_ranges pos crdp in
+        let back = Dependent.image_ranges pos rowp crd.Region.ispace in
+        Array.for_all2
+          (fun orig img -> Iset.subset orig img)
+          crdp.Partition.subsets back.Partition.subsets
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "image of ranges" `Quick test_image_ranges;
+    Alcotest.test_case "preimage of ranges" `Quick test_preimage_ranges;
+    Alcotest.test_case "image of values" `Quick test_image_values;
+    Alcotest.test_case "preimage of values" `Quick test_preimage_values;
+    prop_image_covers_children;
+    prop_preimage_sound;
+    prop_galois;
+  ]

@@ -1,0 +1,96 @@
+open Spdistal_runtime
+
+let check_list = Alcotest.(check (list int))
+
+let test_construction () =
+  check_list "interval" [ 3; 4; 5 ] (Iset.elements (Iset.interval 3 5));
+  check_list "empty interval" [] (Iset.elements (Iset.interval 5 3));
+  check_list "range" [ 0; 1; 2 ] (Iset.elements (Iset.range 3));
+  check_list "singleton" [ 7 ] (Iset.elements (Iset.singleton 7));
+  check_list "of_list dedups and sorts" [ 1; 2; 9 ]
+    (Iset.elements (Iset.of_list [ 9; 1; 2; 2; 1 ]));
+  check_list "of_intervals merges overlaps" [ 1; 2; 3; 4; 5 ]
+    (Iset.elements (Iset.of_intervals [ (3, 5); (1, 2) ]));
+  Alcotest.(check int)
+    "adjacent intervals merge" 1
+    (Iset.interval_count (Iset.of_intervals [ (0, 2); (3, 5) ]))
+
+let test_queries () =
+  let s = Iset.of_intervals [ (0, 2); (5, 7) ] in
+  Alcotest.(check bool) "mem inside" true (Iset.mem 6 s);
+  Alcotest.(check bool) "mem gap" false (Iset.mem 3 s);
+  Alcotest.(check bool) "mem outside" false (Iset.mem 9 s);
+  Alcotest.(check int) "cardinal" 6 (Iset.cardinal s);
+  Alcotest.(check int) "min" 0 (Iset.min_elt s);
+  Alcotest.(check int) "max" 7 (Iset.max_elt s);
+  Alcotest.(check int) "nth across gap" 5 (Iset.nth s 3);
+  Alcotest.check_raises "nth out of bounds" (Invalid_argument "Iset.nth")
+    (fun () -> ignore (Iset.nth s 6));
+  Alcotest.(check bool) "intersects overlapping" true
+    (Iset.intersects_interval s 2 4);
+  Alcotest.(check bool) "intersects gap" false (Iset.intersects_interval s 3 4)
+
+let test_operations () =
+  let a = Iset.of_intervals [ (0, 4) ] and b = Iset.of_intervals [ (3, 8) ] in
+  check_list "union" [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] (Iset.elements (Iset.union a b));
+  check_list "inter" [ 3; 4 ] (Iset.elements (Iset.inter a b));
+  check_list "diff" [ 0; 1; 2 ] (Iset.elements (Iset.diff a b));
+  Alcotest.(check bool) "subset" true (Iset.subset (Iset.interval 1 2) a);
+  Alcotest.(check bool) "not subset" false (Iset.subset b a);
+  Alcotest.(check bool) "disjoint" true
+    (Iset.disjoint (Iset.interval 0 1) (Iset.interval 5 6))
+
+(* Reference implementation via sorted lists. *)
+let model s = Iset.elements s
+
+let prop_union =
+  Helpers.qtest "union = model union"
+    QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
+    (fun (a, b) ->
+      model (Iset.union a b)
+      = List.sort_uniq compare (model a @ model b))
+
+let prop_inter =
+  Helpers.qtest "inter = model inter"
+    QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
+    (fun (a, b) ->
+      model (Iset.inter a b) = List.filter (fun x -> Iset.mem x b) (model a))
+
+let prop_diff =
+  Helpers.qtest "diff = model diff"
+    QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
+    (fun (a, b) ->
+      model (Iset.diff a b)
+      = List.filter (fun x -> not (Iset.mem x b)) (model a))
+
+let prop_canonical =
+  Helpers.qtest "union with self is identity" Helpers.arb_iset (fun a ->
+      Iset.equal a (Iset.union a a))
+
+let prop_cardinal =
+  Helpers.qtest "cardinal counts elements" Helpers.arb_iset (fun a ->
+      Iset.cardinal a = List.length (model a))
+
+let prop_nth =
+  Helpers.qtest "nth enumerates in order" Helpers.arb_iset (fun a ->
+      List.mapi (fun k _ -> Iset.nth a k) (model a) = model a)
+
+let prop_diff_union_partition =
+  Helpers.qtest "diff and inter partition the left operand"
+    QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
+    (fun (a, b) ->
+      Iset.equal a (Iset.union (Iset.diff a b) (Iset.inter a b)))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "queries" `Quick test_queries;
+    Alcotest.test_case "operations" `Quick test_operations;
+    prop_union;
+    prop_inter;
+    prop_diff;
+    prop_canonical;
+    prop_cardinal;
+    prop_nth;
+    prop_diff_union_partition;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "spdistal"
+    [
+      ("iset", Test_iset.suite);
+      ("partition", Test_partition.suite);
+      ("dependent", Test_dependent.suite);
+      ("formats", Test_formats.suite);
+      ("formats-dist", Test_formats_dist.suite);
+      ("machine", Test_machine.suite);
+      ("runtime-more", Test_runtime_more.suite);
+      ("ir", Test_ir.suite);
+      ("pretty", Test_pretty.suite);
+      ("exec", Test_exec.suite);
+      ("baselines", Test_baselines.suite);
+      ("baselines-more", Test_baselines_more.suite);
+      ("interp-more", Test_interp_more.suite);
+      ("props", Test_props.suite);
+      ("placement", Test_placement.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

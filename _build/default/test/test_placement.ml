@@ -1,0 +1,129 @@
+(* Placement: materializing TDN declarations into initial residency. *)
+
+open Spdistal_runtime
+open Spdistal_formats
+open Spdistal_ir
+open Spdistal_exec
+
+let machine = Machine.make ~kind:Machine.Cpu [| 4 |]
+
+let bindings () =
+  let b = Helpers.rand_csr ~seed:81 20 20 0.3 in
+  [
+    ("B", Operand.sparse b);
+    ("v", Operand.vec (Dense.vec_create "v" 20));
+    ("M", Operand.mat (Dense.mat_create "M" 20 6));
+  ]
+
+let test_replicated () =
+  let b = bindings () in
+  match Placement.of_tdn ~machine ~bindings:b "v" Tdn.Replicated with
+  | Placement.Replicated_everywhere -> ()
+  | _ -> Alcotest.fail "expected replication"
+
+let test_vec_blocked () =
+  let b = bindings () in
+  match
+    Placement.of_tdn ~machine ~bindings:b "v"
+      (Tdn.Blocked { tensor_dim = 0; machine_dim = 0 })
+  with
+  | Placement.Dim_partitioned { dim = 0; part } ->
+      Alcotest.(check int) "4 colors" 4 (Partition.colors part);
+      Alcotest.(check bool) "complete" true (Partition.is_complete part)
+  | _ -> Alcotest.fail "expected dim partition"
+
+let test_mat_col_blocked () =
+  let b = bindings () in
+  match
+    Placement.of_tdn ~machine ~bindings:b "M"
+      (Tdn.Blocked { tensor_dim = 1; machine_dim = 0 })
+  with
+  | Placement.Dim_partitioned { dim = 1; part } ->
+      Alcotest.(check int) "covers cols" 6
+        (Iset.cardinal (Partition.union_of_colors part))
+  | _ -> Alcotest.fail "expected column partition"
+
+let test_sparse_blocked_vs_nnz () =
+  let b = bindings () in
+  let tensor = Operand.find_sparse b "B" in
+  let n = Tensor.nnz tensor in
+  (match
+     Placement.of_tdn ~machine ~bindings:b "B"
+       (Tdn.Blocked { tensor_dim = 0; machine_dim = 0 })
+   with
+  | Placement.Vals_partitioned part ->
+      Alcotest.(check int) "all nnz placed" n
+        (Iset.cardinal (Partition.union_of_colors part))
+  | _ -> Alcotest.fail "expected vals partition");
+  match
+    Placement.of_tdn ~machine ~bindings:b "B"
+      (Tdn.Fused_non_zero { dims = [ 0; 1 ]; machine_dim = 0 })
+  with
+  | Placement.Vals_partitioned part ->
+      Array.iter
+        (fun s ->
+          let c = Iset.cardinal s in
+          Alcotest.(check bool) "balanced nnz" true
+            (c >= n / 4 && c <= (n / 4) + 1))
+        part.Partition.subsets
+  | _ -> Alcotest.fail "expected vals partition"
+
+let test_sparse_single_dim_nnz () =
+  (* T |->_~x M on a sparse vector: equal split of the stored coords. *)
+  let vec_coo = Coo.make [| 50 |] (List.init 13 (fun i -> ([| 2 + (3 * i) |], 1.))) in
+  let sv =
+    Tensor.of_coo ~name:"s" ~formats:[| Level.Compressed_k |] vec_coo
+  in
+  let b = [ ("s", Operand.sparse sv) ] in
+  match
+    Placement.of_tdn ~machine ~bindings:b "s"
+      (Tdn.Non_zero { tensor_dim = 0; machine_dim = 0 })
+  with
+  | Placement.Vals_partitioned part ->
+      Alcotest.(check bool) "balanced" true
+        (Array.for_all
+           (fun s -> Iset.cardinal s >= 13 / 4 && Iset.cardinal s <= (13 / 4) + 1)
+           part.Partition.subsets)
+  | _ -> Alcotest.fail "expected vals partition"
+
+let test_resident_set () =
+  let b = bindings () in
+  let placement =
+    [
+      ("v", Placement.Replicated_everywhere);
+      ( "M",
+        Placement.of_tdn ~machine ~bindings:b "M"
+          (Tdn.Blocked { tensor_dim = 0; machine_dim = 0 }) );
+    ]
+  in
+  (match
+     Placement.resident_set placement ~tensor:"v" ~comm_dim:0
+       ~piece_subset:(fun _ -> Iset.empty)
+   with
+  | `All -> ()
+  | _ -> Alcotest.fail "replicated = All");
+  (match
+     Placement.resident_set placement ~tensor:"unknown" ~comm_dim:0
+       ~piece_subset:(fun _ -> Iset.empty)
+   with
+  | `Nothing -> ()
+  | _ -> Alcotest.fail "unknown = Nothing");
+  (* A mismatched dimension yields nothing resident. *)
+  match
+    Placement.resident_set placement ~tensor:"M" ~comm_dim:1
+      ~piece_subset:(fun p -> Partition.subset p 0)
+  with
+  | `Nothing -> ()
+  | _ -> Alcotest.fail "wrong dim = Nothing"
+
+let suite =
+  [
+    Alcotest.test_case "replicated" `Quick test_replicated;
+    Alcotest.test_case "blocked vector" `Quick test_vec_blocked;
+    Alcotest.test_case "column-blocked matrix" `Quick test_mat_col_blocked;
+    Alcotest.test_case "sparse blocked vs fused nnz" `Quick
+      test_sparse_blocked_vs_nnz;
+    Alcotest.test_case "single-dim nnz split (Fig 5b)" `Quick
+      test_sparse_single_dim_nnz;
+    Alcotest.test_case "resident sets" `Quick test_resident_set;
+  ]

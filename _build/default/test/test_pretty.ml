@@ -1,0 +1,87 @@
+(* Pretty-printer coverage: the rendered plans are the user-facing artifact
+   (paper Fig. 9b), so their shape is pinned here. *)
+
+open Spdistal_ir
+
+let spmv_env =
+  [
+    ("a", Lower.Vec_op);
+    ( "B",
+      Lower.Sparse_op
+        {
+          formats =
+            [| Spdistal_formats.Level.Dense_k; Spdistal_formats.Level.Compressed_k |];
+          mode_order = [| 0; 1 |];
+        } );
+    ("c", Lower.Vec_op);
+  ]
+
+let render sched =
+  Pretty.prog_to_string (Lower.lower ~env:spmv_env ~grid:[| 2 |] Tin.spmv sched)
+
+let test_row_plan_shape () =
+  let s = render (Core.Kernels.spmv_row ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (Helpers.contains s needle))
+    [
+      "Coloring B1Coloring = {};";
+      "for (int io = 0; io < 2; io++)";
+      "B1Coloring[color] = {io * B[0].dim / 2, (io + 1) * B[0].dim / 2 - 1};";
+      "auto B1Part = partitionByBounds(B1Coloring, B[0].dom);";
+      "auto B2PosPart = copy(B1Part);";
+      "auto B2CrdPart = image(B[1].pos, B2PosPart, B[1].crd);";
+      "auto BValsPart = copy(B2CrdPart);";
+      "imageValues(B[1].crd, B2CrdPart, c[0].dom)";
+      "distributed for io in pieces";
+      "leaf: a(i) = B(i,j) * c(j) over B [parallel]";
+    ]
+
+let test_nnz_plan_shape () =
+  let s = render (Core.Kernels.spmv_nnz ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (Helpers.contains s needle))
+    [
+      "B.nnz";
+      "auto B2CrdPart = partitionByBounds(B2Coloring, B[1].crd);";
+      "auto B2PosPart = preimage(B[1].pos, B2CrdPart);";
+      "[nnz-split]";
+      "// output: communicate a by dim 0[B2PosPart] (reduction)";
+    ]
+
+let test_aexpr_precedence () =
+  let open Loop_ir in
+  let e = Mul (Add (Color_var "c", Int 1), Dim (Nnz_of "B")) in
+  Alcotest.(check string) "parenthesized" "(c + 1) * B.nnz"
+    (Format.asprintf "%a" Pretty.pp_aexpr e);
+  let e2 = Sub (Div (Color_var "c", Int 2), Int 1) in
+  Alcotest.(check string) "division" "c / 2 - 1"
+    (Format.asprintf "%a" Pretty.pp_aexpr e2)
+
+let test_rref_rendering () =
+  let open Loop_ir in
+  Alcotest.(check string) "pos" "B[1].pos"
+    (Format.asprintf "%a" Pretty.pp_rref (Pos_r ("B", 1)));
+  Alcotest.(check string) "vals" "B.vals"
+    (Format.asprintf "%a" Pretty.pp_rref (Vals_r "B"));
+  Alcotest.(check string) "dom" "c[0].dom"
+    (Format.asprintf "%a" Pretty.pp_rref (Dom_r ("c", 0)))
+
+let test_schedule_rendering () =
+  let s = Format.asprintf "%a" Schedule.pp (Core.Kernels.spmv_nnz ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (Helpers.contains s needle))
+    [ ".fuse(ij, i, j)"; ".pos(ij, fp, B)"; ".divide(fp, fpo, fpi, M)";
+      ".distribute(fpo)"; ".communicate({a, B, c}, fpo)";
+      ".parallelize(fpi, CPUThread)" ]
+
+let suite =
+  [
+    Alcotest.test_case "row plan renders like Fig 9b" `Quick test_row_plan_shape;
+    Alcotest.test_case "nnz plan renders" `Quick test_nnz_plan_shape;
+    Alcotest.test_case "aexpr precedence" `Quick test_aexpr_precedence;
+    Alcotest.test_case "rref rendering" `Quick test_rref_rendering;
+    Alcotest.test_case "schedule rendering" `Quick test_schedule_rendering;
+  ]
