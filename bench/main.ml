@@ -82,6 +82,63 @@ let run_bechamel () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Domain-pool scaling: wall-clock of the six fig10 kernels with        *)
+(* sequential vs parallel piece simulation.  Simulated times are        *)
+(* bit-identical at every degree (the interpreter reduces piece records *)
+(* in piece order); only wall-clock may differ.  Speedup requires       *)
+(* cores: on a single-core host the pool degrades to ~1x.               *)
+(* ------------------------------------------------------------------ *)
+
+let run_domain_scaling () =
+  let requested =
+    let d = Spdistal_runtime.Machine.sim_domains () in
+    if d > 1 then d else 4
+  in
+  let matrix =
+    Synth.power_law ~name:"scale-matrix" ~rows:8_000 ~cols:8_000 ~nnz:240_000
+      ~alpha:1.0 ~seed:97
+  in
+  let tensor =
+    Synth.tensor3_uniform ~name:"scale-tensor" ~dims:[| 800; 600; 300 |]
+      ~nnz:120_000 ~seed:96
+  in
+  let machine = Runner.cpu_machine ~nodes:16 in
+  let kernels =
+    [
+      (Runner.Spmv, matrix); (Runner.Spmm, matrix); (Runner.Spadd3, matrix);
+      (Runner.Sddmm, matrix); (Runner.Spttv, tensor); (Runner.Mttkrp, tensor);
+    ]
+  in
+  let time_all domains =
+    Spdistal_runtime.Machine.set_sim_domains domains;
+    let t0 = Unix.gettimeofday () in
+    let sims =
+      List.map
+        (fun (k, b) ->
+          let r = Runner.run ~kernel:k ~system:Runner.Spdistal ~machine b in
+          r.Spdistal_baselines.Common.time)
+        kernels
+    in
+    (Unix.gettimeofday () -. t0, sims)
+  in
+  print_endline "=== Domain-pool scaling (fig10 kernels, 16-node machine) ===";
+  ignore (time_all 1);
+  (* warm expansion caches so both timed passes see the same state *)
+  let seq, sims_seq = time_all 1 in
+  let par, sims_par = time_all requested in
+  Spdistal_runtime.Machine.set_sim_domains 1;
+  Printf.printf
+    "--domains 1: %.3fs   --domains %d: %.3fs   wall-clock speedup %.2fx \
+     (host has %d core(s))\n"
+    seq requested par (seq /. par)
+    (Domain.recommended_domain_count ());
+  if sims_seq = sims_par then
+    print_endline "simulated times: bit-identical across degrees (as required)"
+  else
+    print_endline "WARNING: simulated times diverged across domain degrees!";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Figure reproductions (simulated time; real numerics).               *)
 (* ------------------------------------------------------------------ *)
 
@@ -100,6 +157,7 @@ let () =
     Datasets.scale;
 
   run_bechamel ();
+  run_domain_scaling ();
 
   section "table2" (fun () -> Format.printf "%a@." Datasets.pp_table2 ());
 

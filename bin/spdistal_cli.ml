@@ -58,12 +58,26 @@ let pieces_arg =
 let gpu_arg = Arg.(value & opt bool false & info [ "gpu" ] ~doc:"Use a GPU machine")
 let cols_arg = Arg.(value & opt int 32 & info [ "cols" ] ~doc:"Dense width")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:
+          "OCaml domains used to simulate the pieces of each distributed \
+           launch concurrently (wall-clock only; results are bit-identical \
+           at every degree).  0 defers to $(b,SPDISTAL_DOMAINS), which \
+           defaults to 1 (sequential).")
+
+(* Fold the --domains option into a command's action. *)
+let set_domains d = if d > 0 then Machine.set_sim_domains d
+
 let load_dataset name =
   let e = Datasets.find name in
   e.Datasets.load ()
 
 let run_cmd =
-  let f kernel dataset system pieces gpu cols =
+  let f kernel dataset system pieces gpu cols domains =
+    set_domains domains;
     let b = load_dataset dataset in
     let machine =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
@@ -79,7 +93,9 @@ let run_cmd =
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
-    Term.(const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg $ cols_arg)
+    Term.(
+      const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
+      $ cols_arg $ domains_arg)
 
 let show_cmd =
   let f kernel dataset pieces gpu cols =
@@ -125,12 +141,13 @@ let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced tensors and machine sizes")
 
 let fig_cmd name doc compute print =
-  let f quick =
+  let f quick domains =
+    set_domains domains;
     let cells = compute ~quick () in
     Format.printf "%a@." print cells;
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_arg $ domains_arg)
 
 let fig10_cmd =
   fig_cmd "fig10" "CPU strong scaling (paper Fig. 10)"
@@ -153,12 +170,13 @@ let fig13_cmd =
     Fig13.print
 
 let ablations_cmd =
-  let f () =
+  let f domains =
+    set_domains domains;
     Format.printf "%a@." Spdistal_experiments.Ablations.run_all ();
     0
   in
   Cmd.v (Cmd.info "ablations" ~doc:"Run the DESIGN.md ablation benches")
-    Term.(const f $ const ())
+    Term.(const f $ domains_arg)
 
 let main =
   Cmd.group

@@ -24,7 +24,7 @@ let show p = Pretty.prog_to_string (compile p)
 
 type run_result = { cost : Cost.t; dnc : string option }
 
-let run ?(uvm = false) p =
+let run ?(uvm = false) ?domains p =
   let b = bindings p in
   let cost = Cost.create () in
   try
@@ -36,7 +36,8 @@ let run ?(uvm = false) p =
     in
     let prog = compile p in
     let memstate = Memstate.create p.machine ~uvm in
-    Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost prog;
+    Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost
+      ?domains prog;
     { cost; dnc = None }
   with Memstate.Oom reason -> { cost; dnc = Some reason }
 

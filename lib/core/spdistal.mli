@@ -53,8 +53,11 @@ type run_result = {
 
 (** Execute one timed iteration: materializes data distributions, runs the
     distributed program (real numerics), returns simulated cost.  On OOM the
-    result carries [dnc] and the outputs are unspecified. *)
-val run : ?uvm:bool -> problem -> run_result
+    result carries [dnc] and the outputs are unspecified.  [domains] bounds
+    the OCaml domains used to simulate pieces concurrently (default
+    {!Spdistal_runtime.Machine.sim_domains}); it affects wall-clock only —
+    costs and outputs are bit-identical at every degree. *)
+val run : ?uvm:bool -> ?domains:int -> problem -> run_result
 
 (** Simulated seconds, or [None] on DNC. *)
 val time_of : run_result -> float option

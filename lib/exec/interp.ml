@@ -6,17 +6,34 @@ let last : Part_eval.env option ref = ref None
 let last_env () = !last
 
 (* Map a piece id to the color of a partition that may have been built for a
-   sub-grid of the machine (2-D batched schedules partition rows by the
-   grid's first dimension and columns by the second). *)
+   single dimension of the machine grid (2-D batched schedules partition rows
+   by the grid's first dimension and columns by the second).  Pieces are laid
+   out row-major over the grid, so a [Grid_dim d] partition's color is the
+   piece's coordinate along dimension [d]. *)
 let color_for ~grid ~pieces part piece =
   let colors = Partition.colors part in
-  if colors = pieces then piece
-  else if Array.length grid >= 2 && colors = grid.(0) then piece / grid.(1)
-  else if Array.length grid >= 2 && colors = grid.(1) then piece mod grid.(1)
-  else
-    invalid_arg
-      (Printf.sprintf "Interp: partition with %d colors on %d pieces" colors
-         pieces)
+  match Partition.axis part with
+  | Partition.Flat ->
+      if colors = pieces then piece
+      else
+        invalid_arg
+          (Printf.sprintf "Interp: flat partition with %d colors on %d pieces"
+             colors pieces)
+  | Partition.Grid_dim d ->
+      let nd = Array.length grid in
+      if d < 0 || d >= nd then
+        invalid_arg
+          (Printf.sprintf "Interp: partition axis %d on a %d-d grid" d nd);
+      if colors <> grid.(d) then
+        invalid_arg
+          (Printf.sprintf
+             "Interp: axis-%d partition with %d colors but grid dim has %d"
+             d colors grid.(d));
+      let stride = ref 1 in
+      for k = d + 1 to nd - 1 do
+        stride := !stride * grid.(k)
+      done;
+      piece / !stride mod grid.(d)
 
 let stitch_merge ~bindings ~out_name ~nrows ~ncols partials =
   (* Per-piece row blocks are disjoint and ordered; concatenate them. *)
@@ -70,10 +87,28 @@ let stitch_merge ~bindings ~out_name ~nrows ~ncols partials =
   in
   (Operand.find bindings out_name).Operand.data <- Operand.Sparse t
 
-let run ~machine ~bindings ~placement ?memstate ~cost prog =
+(* What simulating one piece of a distributed launch produces.  Pure data:
+   worker domains build these records; all mutation of shared simulation
+   state (Cost, Memstate, message totals) happens on the reducing domain, in
+   piece order, so results are bit-identical to a sequential run (float
+   accumulation order is preserved exactly). *)
+type piece_sim = {
+  ps_comm_time : float;  (** data movement into the piece, before paging *)
+  ps_footprint : float;  (** bytes the piece must hold resident *)
+  ps_msg_bytes : float list;  (** per-message byte counts, in issue order *)
+  ps_leaf : Leaf.result option;
+      (** [None] when the leaf writes overlap across pieces ([out_reduce])
+          and execution was deferred to the reducing domain *)
+}
+
+let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
   let pieces = Loop_ir.pieces prog in
   if pieces <> Machine.pieces machine then
     invalid_arg "Interp.run: program lowered for a different machine size";
+  let domains =
+    match domains with Some d -> d | None -> Machine.sim_domains ()
+  in
+  let pool = Pool.get (Pool.effective_workers domains) in
   let grid = prog.Loop_ir.grid in
   let penv = Part_eval.create bindings in
   let loops = Part_eval.eval_partitions penv prog in
@@ -87,14 +122,47 @@ let run ~machine ~bindings ~placement ?memstate ~cost prog =
   List.iter
     (function
       | Loop_ir.Distributed_for { shard_parts; comms; out_comm; leaf; _ } ->
-          let comm_times = Array.make pieces 0. in
-          let leaf_times = Array.make pieces 0. in
-          let partials = ref [] in
-          let total_bytes = ref 0. and total_msgs = ref 0 in
-          for c = 0 to pieces - 1 do
-            (* --- communication into piece [c] --- *)
+          (* Leaf execution for one piece.  Runs on a worker domain when the
+             launch's output writes are disjoint across pieces; launches that
+             reduce into overlapping locations ([out_reduce]) run on the
+             reducing domain instead, in piece order. *)
+          let exec_leaf c =
+            let shard_vals tname =
+              match List.assoc_opt tname shard_parts with
+              | Some pname -> subset_for (part pname) c
+              | None ->
+                  invalid_arg (Printf.sprintf "Interp: no shard for %s" tname)
+            in
+            let rows =
+              Option.map
+                (fun pname -> subset_for (part pname) c)
+                leaf.Loop_ir.leaf_row_part
+            in
+            let col_range =
+              if leaf.Loop_ir.col_split > 1 then begin
+                let py = grid.(1) in
+                let cy = c mod py in
+                (* Column extent from the output's last dimension. *)
+                let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in
+                let od = data out_acc.Tin.tensor in
+                let e = Operand.dim od (Operand.order od - 1) in
+                Some ((cy * e / py, ((cy + 1) * e / py) - 1))
+              end
+              else None
+            in
+            Leaf.execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()
+          in
+          (* Materialize the driver's coordinate expansion on this domain so
+             worker domains only read the memoized entry. *)
+          (match leaf.Loop_ir.driver with
+          | Loop_ir.Sparse_driver d ->
+              Leaf.prewarm (Operand.find_sparse bindings d)
+          | Loop_ir.Merge_driver _ -> ());
+          (* --- simulate pieces (parallel when a pool is configured) --- *)
+          let simulate c =
             let comm_time = ref 0. in
             let footprint = ref 0. in
+            let msgs = ref [] in
             List.iter
               (fun (cm : Loop_ir.comm) ->
                 let d = data cm.Loop_ir.comm_tensor in
@@ -121,9 +189,9 @@ let run ~machine ~bindings ~placement ?memstate ~cost prog =
                     with
                     | `All -> ()
                     | `Set _ | `Nothing ->
-                        comm_time := !comm_time +. Machine.bcast_time machine ~bytes;
-                        total_bytes := !total_bytes +. bytes;
-                        incr total_msgs)
+                        comm_time :=
+                          !comm_time +. Machine.bcast_time machine ~bytes;
+                        msgs := bytes :: !msgs)
                 | Some pname ->
                     let needed = subset_for (part pname) c in
                     let needed_bytes =
@@ -146,67 +214,67 @@ let run ~machine ~bindings ~placement ?memstate ~cost prog =
                       comm_time :=
                         !comm_time
                         +. Machine.p2p_time machine ~intra_node:intra ~bytes;
-                      total_bytes := !total_bytes +. bytes;
-                      incr total_msgs
+                      msgs := bytes :: !msgs
                     end)
               comms;
-            (* --- capacity check (OOM / UVM paging) --- *)
-            (match memstate with
-            | None -> ()
-            | Some ms -> (
-                match
-                  Memstate.ensure ms ~piece:c
-                    ~key:(Printf.sprintf "launch:%d" c)
-                    ~bytes:!footprint
-                with
-                | Memstate.Hit | Memstate.Miss _ -> ()
-                | Memstate.Paged overflow ->
-                    (* Page the overflow in and out once per iteration. *)
-                    comm_time :=
-                      !comm_time
-                      +. (2. *. overflow /. machine.Machine.params.uvm_page_bw)));
-            (* --- leaf execution --- *)
-            let shard_vals tname =
-              match List.assoc_opt tname shard_parts with
-              | Some pname -> subset_for (part pname) c
-              | None ->
-                  invalid_arg (Printf.sprintf "Interp: no shard for %s" tname)
+            let ps_leaf =
+              if leaf.Loop_ir.out_reduce then None else Some (exec_leaf c)
             in
-            let rows =
-              Option.map
-                (fun pname -> subset_for (part pname) c)
-                leaf.Loop_ir.leaf_row_part
-            in
-            let col_range =
-              if leaf.Loop_ir.col_split > 1 then begin
-                let py = grid.(1) in
-                let cy = c mod py in
-                (* Column extent from the output's last dimension. *)
-                let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in
-                let od = data out_acc.Tin.tensor in
-                let e = Operand.dim od (Operand.order od - 1) in
-                Some ((cy * e / py, ((cy + 1) * e / py) - 1))
-              end
-              else None
-            in
-            let res =
-              Leaf.execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()
-            in
-            (match res.Leaf.partial with
-            | Some p -> partials := !partials @ [ p ]
-            | None -> ());
-            Cost.add_flops cost res.Leaf.work.Task.flops;
-            let lt = Task.leaf_time machine res.Leaf.work in
-            let lt =
-              if machine.Machine.kind = Machine.Cpu then
-                if not leaf.Loop_ir.parallel then
-                  lt *. float_of_int machine.Machine.params.cpu_cores
-                else lt /. machine.Machine.params.legion_leaf_efficiency
-              else lt
-            in
-            comm_times.(c) <- !comm_time;
-            leaf_times.(c) <- lt
-          done;
+            {
+              ps_comm_time = !comm_time;
+              ps_footprint = !footprint;
+              ps_msg_bytes = List.rev !msgs;
+              ps_leaf;
+            }
+          in
+          let sims = Pool.map pool simulate pieces in
+          (* --- reduce piece results, in piece order --- *)
+          let comm_times = Array.make pieces 0. in
+          let leaf_times = Array.make pieces 0. in
+          let partials = ref [] in
+          let total_bytes = ref 0. and total_msgs = ref 0 in
+          Array.iteri
+            (fun c ps ->
+              List.iter
+                (fun bytes ->
+                  total_bytes := !total_bytes +. bytes;
+                  incr total_msgs)
+                ps.ps_msg_bytes;
+              let comm_time = ref ps.ps_comm_time in
+              (* --- capacity check (OOM / UVM paging) --- *)
+              (match memstate with
+              | None -> ()
+              | Some ms -> (
+                  match
+                    Memstate.ensure ms ~piece:c
+                      ~key:(Printf.sprintf "launch:%d" c)
+                      ~bytes:ps.ps_footprint
+                  with
+                  | Memstate.Hit | Memstate.Miss _ -> ()
+                  | Memstate.Paged overflow ->
+                      (* Page the overflow in and out once per iteration. *)
+                      comm_time :=
+                        !comm_time
+                        +. (2. *. overflow /. machine.Machine.params.uvm_page_bw)));
+              let res =
+                match ps.ps_leaf with Some r -> r | None -> exec_leaf c
+              in
+              (match res.Leaf.partial with
+              | Some p -> partials := p :: !partials
+              | None -> ());
+              Cost.add_flops cost res.Leaf.work.Task.flops;
+              let lt = Task.leaf_time machine res.Leaf.work in
+              let lt =
+                if machine.Machine.kind = Machine.Cpu then
+                  if not leaf.Loop_ir.parallel then
+                    lt *. float_of_int machine.Machine.params.cpu_cores
+                  else lt /. machine.Machine.params.legion_leaf_efficiency
+                else lt
+              in
+              comm_times.(c) <- !comm_time;
+              leaf_times.(c) <- lt)
+            sims;
+          let partials = List.rev !partials in
           Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
           Cost.record_launch_split cost ~machine ~comm_times ~leaf_times;
           (* --- output reduction for aliased ownership --- *)
@@ -246,7 +314,7 @@ let run ~machine ~bindings ~placement ?memstate ~cost prog =
                   (Machine.reduce_time machine ~bytes)
               end);
           (* --- stitch unknown-pattern outputs --- *)
-          if !partials <> [] then begin
+          if partials <> [] then begin
             let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in
             let first_in =
               match leaf.Loop_ir.driver with
@@ -255,7 +323,7 @@ let run ~machine ~bindings ~placement ?memstate ~cost prog =
             in
             let src = Operand.find_sparse bindings first_in in
             stitch_merge ~bindings ~out_name:out_acc.Tin.tensor
-              ~nrows:src.Tensor.dims.(0) ~ncols:src.Tensor.dims.(1) !partials
+              ~nrows:src.Tensor.dims.(0) ~ncols:src.Tensor.dims.(1) partials
           end
       | _ -> assert false)
     loops

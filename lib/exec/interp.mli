@@ -13,19 +13,44 @@
     sparse inputs are charged only for the difference between their declared
     data distribution and what the computation needs (paper §II-D).
     {!Spdistal_runtime.Memstate} enforces capacities: [Oom] escapes to the
-    caller, which reports a DNC cell (paper Fig. 11). *)
+    caller, which reports a DNC cell (paper Fig. 11).
+
+    Host parallelism: the pieces of each distributed launch are simulated
+    concurrently on a domain pool when [domains >= 2] (explicitly, via
+    {!Spdistal_runtime.Machine.set_sim_domains}, or via [SPDISTAL_DOMAINS]).
+    Results are {e bit-identical} to a sequential run: piece simulations are
+    pure records, every leaf that reduces into overlapping output locations
+    runs on the reducing domain, and all shared state (Cost, Memstate,
+    message totals, stitched outputs) is updated there in ascending piece
+    order, preserving float accumulation order exactly.  The only observable
+    difference is on the [Oom] path, where leaves of pieces past the
+    offending one may already have run — outputs were already unspecified on
+    that path. *)
 
 open Spdistal_runtime
 
+(** [run ~machine ~bindings ~placement ?memstate ~cost ?domains prog]
+    executes [prog].  [domains] caps the OCaml domains used to simulate
+    pieces of one launch concurrently (default
+    {!Spdistal_runtime.Machine.sim_domains}; [<= 1] means sequential). *)
 val run :
   machine:Machine.t ->
   bindings:Operand.bindings ->
   placement:Placement.t ->
   ?memstate:Memstate.t ->
   cost:Cost.t ->
+  ?domains:int ->
   Spdistal_ir.Loop_ir.prog ->
   unit
 
 (** Partition-evaluation environment of the last [run], for inspection in
     tests (partitions by name). *)
 val last_env : unit -> Part_eval.env option
+
+(** Color of [part] selected by piece [piece] on [grid] (exposed for tests).
+    Dispatches on the partition's {!Spdistal_runtime.Partition.axis}: [Flat]
+    partitions are indexed by piece id; [Grid_dim d] partitions by the
+    piece's coordinate along grid dimension [d] (pieces are row-major over
+    the grid). *)
+val color_for :
+  grid:int array -> pieces:int -> Partition.t -> int -> int

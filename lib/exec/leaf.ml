@@ -22,14 +22,27 @@ type expansion = {
 }
 
 let cache : (int, expansion) Hashtbl.t = Hashtbl.create 16
-let clear_cache () = Hashtbl.reset cache
+
+(* The cache is shared across the domains that simulate the pieces of one
+   distributed launch; every access goes through this lock.  The interpreter
+   additionally pre-warms the driver's entry before fanning out, so workers
+   only ever take the fast hit path. *)
+let cache_mutex = Mutex.create ()
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
 
 let expand (t : Tensor.t) =
   (* Keyed by the vals region's unique allocation id: tensor names repeat
      across problems, physical storage does not. *)
   let key = t.Tensor.vals.Region.id in
+  Mutex.lock cache_mutex;
   match Hashtbl.find_opt cache key with
-  | Some e -> e
+  | Some e ->
+      Mutex.unlock cache_mutex;
+      e
   | None ->
       let ord = Tensor.order t in
       let n = Tensor.nnz t in
@@ -65,7 +78,10 @@ let expand (t : Tensor.t) =
       if n > 0 then go 0 0;
       let e = { ecoords; epos } in
       Hashtbl.replace cache key e;
+      Mutex.unlock cache_mutex;
       e
+
+let prewarm t = ignore (expand t)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel classification                                                *)

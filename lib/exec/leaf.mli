@@ -36,3 +36,8 @@ val execute :
 
 (** Drop memoized coordinate expansions (frees memory between experiments). *)
 val clear_cache : unit -> unit
+
+(** Build (and memoize) the coordinate expansion of a tensor now.  The
+    interpreter calls this on the reducing domain before simulating pieces in
+    parallel, so worker domains only hit the (mutex-guarded) cache. *)
+val prewarm : Spdistal_formats.Tensor.t -> unit

@@ -2,9 +2,14 @@ open Spdistal_runtime
 open Spdistal_formats
 open Spdistal_ir
 
+type coloring_state = {
+  mutable entries : (int * int) list;  (* reversed *)
+  c_axis : Partition.axis;
+}
+
 type env = {
   bindings : Operand.bindings;
-  colorings : (string, (int * int) list ref) Hashtbl.t;
+  colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;
 }
@@ -67,10 +72,14 @@ let find_partition env name =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Part_eval: undefined partition %s" name)
 
-let coloring_bounds env name =
+let coloring_state env name =
   match Hashtbl.find_opt env.colorings name with
-  | Some l -> Array.of_list (List.rev !l)
+  | Some st -> st
   | None -> invalid_arg (Printf.sprintf "Part_eval: undefined coloring %s" name)
+
+let coloring_bounds env name =
+  let st = coloring_state env name in
+  (Array.of_list (List.rev st.entries), st.c_axis)
 
 let scale_subsets ~f part =
   let subsets =
@@ -84,7 +93,8 @@ let scale_subsets ~f part =
 
 let eval_pexpr env = function
   | Loop_ir.By_bounds { target; coloring } ->
-      Partition.by_bounds (rref_ispace env target) (coloring_bounds env coloring)
+      let bounds, axis = coloring_bounds env coloring in
+      Partition.by_bounds ~axis (rref_ispace env target) bounds
   | Loop_ir.By_value_ranges { target; coloring } ->
       let crd =
         match target with
@@ -92,8 +102,8 @@ let eval_pexpr env = function
         | _ -> invalid_arg "Part_eval: value ranges need a crd region"
       in
       env.dep_ops <- env.dep_ops + 1;
-      Partition.by_value_ranges ~values:crd (rref_ispace env target)
-        (coloring_bounds env coloring)
+      let bounds, axis = coloring_bounds env coloring in
+      Partition.by_value_ranges ~axis ~values:crd (rref_ispace env target) bounds
   | Loop_ir.Image_range { pos; part; target } ->
       let posr =
         match pos with
@@ -130,7 +140,7 @@ let eval_pexpr env = function
             (Iset.min_elt p.Partition.parent * d)
             (((Iset.max_elt p.Partition.parent + 1) * d) - 1)
       in
-      Partition.make parent subsets
+      Partition.make ~axis:p.Partition.axis parent subsets
   | Loop_ir.Unscale_dense { part; dim } ->
       let d = eval_dim env dim in
       let p = find_partition env part in
@@ -139,11 +149,12 @@ let eval_pexpr env = function
         if Iset.is_empty p.Partition.parent then Iset.empty
         else Iset.interval (Iset.min_elt p.Partition.parent / d) (Iset.max_elt p.Partition.parent / d)
       in
-      Partition.make parent subsets
+      Partition.make ~axis:p.Partition.axis parent subsets
 
 let rec eval_stmt env = function
   | Loop_ir.Comment _ -> ()
-  | Loop_ir.Init_coloring c -> Hashtbl.replace env.colorings c (ref [])
+  | Loop_ir.Init_coloring { coloring; axis } ->
+      Hashtbl.replace env.colorings coloring { entries = []; c_axis = axis }
   | Loop_ir.For_colors { cvar; count; body } ->
       for c = 0 to count - 1 do
         List.iter
@@ -151,12 +162,12 @@ let rec eval_stmt env = function
             | Loop_ir.Coloring_entry { coloring; lo; hi } ->
                 let l = eval_aexpr env ~color:(cvar, c) lo
                 and h = eval_aexpr env ~color:(cvar, c) hi in
-                let entries =
+                let st =
                   match Hashtbl.find_opt env.colorings coloring with
-                  | Some r -> r
+                  | Some st -> st
                   | None -> invalid_arg "Part_eval: entry before init"
                 in
-                entries := (l, h) :: !entries
+                st.entries <- (l, h) :: st.entries
             | s -> eval_stmt env s)
           body
       done

@@ -7,9 +7,17 @@
 open Spdistal_runtime
 open Spdistal_ir
 
+(** A coloring under construction: accumulated entries (kept reversed) plus
+    the grid axis its colors enumerate, inherited by partitions built from
+    it. *)
+type coloring_state = {
+  mutable entries : (int * int) list;
+  c_axis : Partition.axis;
+}
+
 type env = {
   bindings : Operand.bindings;
-  colorings : (string, (int * int) list ref) Hashtbl.t;
+  colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;  (** dependent-partitioning operations executed *)
 }

@@ -39,15 +39,16 @@ let of_tdn ~machine ~bindings name tdn =
         if tensor_dim = 0 then m.Spdistal_formats.Dense.rows
         else m.Spdistal_formats.Dense.cols
       in
-      (* Blocked by the named machine grid dimension, so the partition's
-         color count identifies which grid axis a piece indexes it with. *)
-      let count =
+      (* Blocked by the named machine grid dimension; the partition carries
+         that axis so the interpreter can map a piece id to its color even
+         when grid dimensions have equal sizes. *)
+      let count, axis =
         if Array.length machine.Machine.grid > machine_dim then
-          machine.Machine.grid.(machine_dim)
-        else Machine.pieces machine
+          (machine.Machine.grid.(machine_dim), Partition.Grid_dim machine_dim)
+        else (Machine.pieces machine, Partition.Flat)
       in
       Dim_partitioned
-        { dim = tensor_dim; part = Partition.equal_blocks (Iset.range n) count }
+        { dim = tensor_dim; part = Partition.equal_blocks ~axis (Iset.range n) count }
   | Operand.Sparse tensor, _ ->
       (* Lower the TDN's partitioning program (§V-C) and execute it; the
          tensor's vals partition is its residency. *)

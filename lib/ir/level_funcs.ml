@@ -7,9 +7,9 @@ type finalized = { stmts : stmt list; up : string; down : string }
 let part_name ctx suffix = Printf.sprintf "%s%d%s" ctx.tensor (ctx.level + 1) suffix
 let coloring_name ctx = part_name ctx "Coloring"
 
-let init_universe_partition ctx =
+let init_universe_partition ctx ~axis =
   let c = coloring_name ctx in
-  (Init_coloring c, c)
+  (Init_coloring { coloring = c; axis }, c)
 
 let create_universe_partition_entry _ctx ~coloring ~lo ~hi =
   Coloring_entry { coloring; lo; hi }
@@ -62,9 +62,9 @@ let finalize_universe_partition ctx ~coloring =
         down = pcrd;
       }
 
-let init_non_zero_partition ctx =
+let init_non_zero_partition ctx ~axis =
   let c = coloring_name ctx in
-  (Init_coloring c, c)
+  (Init_coloring { coloring = c; axis }, c)
 
 let create_non_zero_partition_entry _ctx ~coloring ~lo ~hi =
   Coloring_entry { coloring; lo; hi }

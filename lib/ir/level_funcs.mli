@@ -27,7 +27,8 @@ type finalized = { stmts : stmt list; up : string; down : string }
 (** {1 Universe partitions} *)
 
 (** Returns the init statement and the coloring name it defines. *)
-val init_universe_partition : ctx -> stmt * string
+val init_universe_partition :
+  ctx -> axis:Spdistal_runtime.Partition.axis -> stmt * string
 
 (** Entry mapping coordinate range [lo..hi] to the current color (emitted
     inside the [For_colors] loop). *)
@@ -38,7 +39,8 @@ val finalize_universe_partition : ctx -> coloring:string -> finalized
 
 (** {1 Non-zero partitions} *)
 
-val init_non_zero_partition : ctx -> stmt * string
+val init_non_zero_partition :
+  ctx -> axis:Spdistal_runtime.Partition.axis -> stmt * string
 
 (** Entry mapping {e position} range [lo..hi] (within the level's stored
     coordinates) to the current color. *)

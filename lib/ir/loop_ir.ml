@@ -51,7 +51,7 @@ type leaf = {
 
 type stmt =
   | Comment of string
-  | Init_coloring of string
+  | Init_coloring of { coloring : string; axis : Spdistal_runtime.Partition.axis }
   | For_colors of { cvar : string; count : int; body : stmt list }
   | Coloring_entry of { coloring : string; lo : aexpr; hi : aexpr }
   | Def_partition of { pname : string; expr : pexpr }

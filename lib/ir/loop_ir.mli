@@ -84,7 +84,11 @@ type leaf = {
 
 type stmt =
   | Comment of string
-  | Init_coloring of string
+  | Init_coloring of { coloring : string; axis : Spdistal_runtime.Partition.axis }
+      (** [axis] records which machine-grid dimension the coloring's colors
+          enumerate; partitions built from the coloring inherit it, and the
+          interpreter dispatches on it when mapping piece ids to colors
+          (color counts alone are ambiguous on square grids) *)
   | For_colors of { cvar : string; count : int; body : stmt list }
       (** loop over colors 0..count-1 creating coloring entries *)
   | Coloring_entry of { coloring : string; lo : aexpr; hi : aexpr }

@@ -1,5 +1,6 @@
 open Loop_ir
 module Level = Spdistal_formats.Level
+module Partition = Spdistal_runtime.Partition
 
 type operand =
   | Sparse_op of { formats : Level.kind array; mode_order : int array }
@@ -76,11 +77,11 @@ let level_part tp lvl =
 
 (* createInitialUniversePartitions + partitionCoordinateTrees for one tensor,
    with the initial universe partition at storage level [k]. *)
-let partition_tree_universe env ~tname ~k ~cvar ~count =
+let partition_tree_universe env ~tname ~k ~cvar ~count ~axis =
   let op = find_operand env tname in
   let last = order_of op - 1 in
   let ctx = ctx_of env tname k in
-  let init_stmt, coloring = Level_funcs.init_universe_partition ctx in
+  let init_stmt, coloring = Level_funcs.init_universe_partition ctx ~axis in
   let lo, hi = block_bounds ~cvar ~count (Dim_of_level (tname, k)) in
   let entry = Level_funcs.create_universe_partition_entry ctx ~coloring ~lo ~hi in
   let fin = Level_funcs.finalize_universe_partition ctx ~coloring in
@@ -121,11 +122,11 @@ let partition_tree_universe env ~tname ~k ~cvar ~count =
 
 (* createInitialNonZeroPartition + partitionNonZeroCoordinateTree: initial
    equal-cardinality partition of level [k_f]'s positions. *)
-let partition_tree_nonzero env ~tname ~k_f ~cvar ~count =
+let partition_tree_nonzero env ~tname ~k_f ~cvar ~count ~axis =
   let op = find_operand env tname in
   let last = order_of op - 1 in
   let ctx = ctx_of env tname k_f in
-  let init_stmt, coloring = Level_funcs.init_non_zero_partition ctx in
+  let init_stmt, coloring = Level_funcs.init_non_zero_partition ctx ~axis in
   let extent =
     if k_f = last then Nnz_of tname else Extent_of_level (tname, k_f)
   in
@@ -169,7 +170,7 @@ let partition_tree_nonzero env ~tname ~k_f ~cvar ~count =
    needed subsets per piece (paper §II-C: communicate granularity is
    user-chosen, contents are inferred). *)
 let comm_for_dense_operand env ~driver ~driver_acc ~driver_tp ~strategy ~coloring_cvar:_
-    ~count ~cvar ~divide_by (x_acc : Tin.access) =
+    ~count ~cvar ~axis ~divide_by (x_acc : Tin.access) =
   let xname = x_acc.Tin.tensor in
   let driver_op = find_operand env driver in
   let gather =
@@ -217,7 +218,7 @@ let comm_for_dense_operand env ~driver ~driver_acc ~driver_tp ~strategy ~colorin
           let lo, hi = block_bounds ~cvar ~count (Dim_of_level (driver, kg)) in
           let sts =
             [
-              Init_coloring cname;
+              Init_coloring { coloring = cname; axis };
               For_colors
                 { cvar; count; body = [ Coloring_entry { coloring = cname; lo; hi } ] };
               Def_partition
@@ -246,6 +247,11 @@ let lower ~env ~grid stmt sched =
   let plan = Schedule.analyze stmt sched in
   let pieces = Array.fold_left ( * ) 1 grid in
   let primary_count = if Array.length grid >= 2 then grid.(0) else pieces in
+  (* Everything this lowering distributes is chunked by the grid's first
+     dimension; the second dimension only chunks dense columns (col_split). *)
+  let primary_axis =
+    if Array.length grid >= 2 then Partition.Grid_dim 0 else Partition.Flat
+  in
   let col_split = if Array.length grid >= 2 then grid.(1) else 1 in
   ignore pieces;
   let out = stmt.Tin.lhs in
@@ -291,7 +297,7 @@ let lower ~env ~grid stmt sched =
       (fun a ->
         let sts, c =
           comm_for_dense_operand env ~driver ~driver_acc ~driver_tp ~strategy
-            ~coloring_cvar:cvar ~count:primary_count ~cvar
+            ~coloring_cvar:cvar ~count:primary_count ~cvar ~axis:primary_axis
             ~divide_by:(divide_for a) a
         in
         emit sts;
@@ -408,6 +414,7 @@ let lower ~env ~grid stmt sched =
             let k = storage_level (find_operand env tname) lpos in
             let tp =
               partition_tree_universe env ~tname ~k ~cvar ~count:primary_count
+                ~axis:primary_axis
             in
             emit tp.tstmts;
             add_sparse_comm tname tp.vals_part;
@@ -440,7 +447,10 @@ let lower ~env ~grid stmt sched =
             | None -> invalid_arg "Lower: fused var not in pos tensor's access")
           0 fused
       in
-      let tp = partition_tree_nonzero env ~tname:tensor ~k_f ~cvar ~count:primary_count in
+      let tp =
+        partition_tree_nonzero env ~tname:tensor ~k_f ~cvar
+          ~count:primary_count ~axis:primary_axis
+      in
       emit tp.tstmts;
       add_sparse_comm tensor tp.vals_part;
       finish ~strategy:`Nonzero ~driver_acc ~driver_tp:tp

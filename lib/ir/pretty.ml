@@ -62,7 +62,12 @@ let pp_driver fmt = function
 
 let rec pp_stmt fmt = function
   | Comment s -> Format.fprintf fmt "// %s" s
-  | Init_coloring c -> Format.fprintf fmt "Coloring %s = {};" c
+  | Init_coloring { coloring = c; axis } ->
+      Format.fprintf fmt "Coloring %s = {};%s" c
+        (match axis with
+        | Spdistal_runtime.Partition.Flat -> ""
+        | Spdistal_runtime.Partition.Grid_dim d ->
+            Printf.sprintf " // colors = grid dim %d" d)
   | For_colors { cvar; count; body } ->
       Format.fprintf fmt "@[<v 2>for (int %s = 0; %s < %d; %s++) {@,%a@]@,}" cvar
         cvar count cvar pp_block body

@@ -13,7 +13,7 @@ let image_ranges (pos : (int * int) Region.t) (p : Partition.t) (target : Iset.t
         Iset.inter target (Iset.of_intervals ivals))
       p.Partition.subsets
   in
-  Partition.make target subsets
+  Partition.make ~axis:p.Partition.axis target subsets
 
 let preimage_ranges (pos : (int * int) Region.t) (p : Partition.t) =
   let buckets = Array.map (fun _ -> ref []) p.Partition.subsets in
@@ -27,7 +27,7 @@ let preimage_ranges (pos : (int * int) Region.t) (p : Partition.t) =
           p.Partition.subsets)
     pos;
   let subsets = Array.map (fun b -> Iset.of_intervals !b) buckets in
-  Partition.make pos.Region.ispace subsets
+  Partition.make ~axis:p.Partition.axis pos.Region.ispace subsets
 
 let image_values (crd : int Region.t) (p : Partition.t) (target : Iset.t) =
   let subsets =
@@ -37,7 +37,7 @@ let image_values (crd : int Region.t) (p : Partition.t) (target : Iset.t) =
         Iset.inter target (Iset.of_list vals))
       p.Partition.subsets
   in
-  Partition.make target subsets
+  Partition.make ~axis:p.Partition.axis target subsets
 
 let preimage_values (crd : int Region.t) (p : Partition.t) =
   let buckets = Array.map (fun _ -> ref []) p.Partition.subsets in
@@ -48,4 +48,4 @@ let preimage_values (crd : int Region.t) (p : Partition.t) =
         p.Partition.subsets)
     crd;
   let subsets = Array.map (fun b -> Iset.of_intervals !b) buckets in
-  Partition.make crd.Region.ispace subsets
+  Partition.make ~axis:p.Partition.axis crd.Region.ispace subsets

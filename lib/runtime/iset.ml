@@ -94,11 +94,13 @@ let subset a b = is_empty (diff a b)
 let disjoint a b = is_empty (inter a b)
 
 let rec intersects_interval t lo hi =
-  match t with
-  | [] -> false
-  | (alo, ahi) :: rest ->
-      if ahi < lo then intersects_interval rest lo hi
-      else alo <= hi (* alo <= hi && ahi >= lo: overlap *)
+  if hi < lo then false (* inverted query intervals are empty *)
+  else
+    match t with
+    | [] -> false
+    | (alo, ahi) :: rest ->
+        if ahi < lo then intersects_interval rest lo hi
+        else alo <= hi (* alo <= hi && ahi >= lo: overlap *)
 
 let to_intervals t = t
 let fold_intervals f t init = List.fold_left (fun acc (lo, hi) -> f lo hi acc) init t

@@ -131,6 +131,30 @@ let barrier_time t =
 let piece_mem t =
   match t.kind with Cpu -> t.params.node_mem | Gpu -> t.params.gpu_mem
 
+(* ------------------------------------------------------------------ *)
+(* Host-side simulation parallelism.                                    *)
+(*                                                                      *)
+(* Orthogonal to the simulated machine spec above: how many OCaml       *)
+(* domains the interpreter may use to simulate the pieces of one        *)
+(* distributed launch concurrently.  Defaults to sequential; the        *)
+(* SPDISTAL_DOMAINS environment variable or an explicit setter (the     *)
+(* CLI's --domains) raises it.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let domains_env_var = "SPDISTAL_DOMAINS"
+
+let sim_domains_override = ref None
+
+let set_sim_domains n = sim_domains_override := Some (max 1 n)
+
+let sim_domains () =
+  match !sim_domains_override with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt domains_env_var with
+      | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+      | None -> 1)
+
 let pp fmt t =
   Format.fprintf fmt "%s machine %a (%d pieces)"
     (match t.kind with Cpu -> "CPU" | Gpu -> "GPU")

@@ -96,3 +96,22 @@ val barrier_time : t -> float
 val piece_mem : t -> float
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Host-side simulation parallelism}
+
+    How many OCaml domains the interpreter may use to simulate the pieces
+    of one distributed launch concurrently.  This is a property of the
+    simulation host, not of the simulated machine: it never changes
+    simulated times or numeric results (the interpreter reduces piece
+    results in piece order), only wall-clock. *)
+
+(** Name of the environment variable consulted by {!sim_domains}
+    (["SPDISTAL_DOMAINS"]). *)
+val domains_env_var : string
+
+(** Process-wide default degree: the last {!set_sim_domains} value, else
+    [$SPDISTAL_DOMAINS], else 1 (sequential). *)
+val sim_domains : unit -> int
+
+(** Override the process-wide default degree (clamped to >= 1). *)
+val set_sim_domains : int -> unit

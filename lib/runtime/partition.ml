@@ -1,4 +1,11 @@
-type t = { parent : Iset.t; subsets : Iset.t array; disjoint : bool }
+type axis = Flat | Grid_dim of int
+
+type t = {
+  parent : Iset.t;
+  subsets : Iset.t array;
+  disjoint : bool;
+  axis : axis;
+}
 
 let compute_disjoint subsets =
   (* Pairwise disjointness via a running union: total cardinality of the
@@ -7,16 +14,17 @@ let compute_disjoint subsets =
   let uni = Iset.union_list (Array.to_list subsets) in
   Iset.cardinal uni = sum
 
-let make parent subsets =
+let make ?(axis = Flat) parent subsets =
   Array.iter
     (fun s ->
       if not (Iset.subset s parent) then
         invalid_arg "Partition.make: subset escapes parent")
     subsets;
-  { parent; subsets; disjoint = compute_disjoint subsets }
+  { parent; subsets; disjoint = compute_disjoint subsets; axis }
 
 let colors t = Array.length t.subsets
 let subset t c = t.subsets.(c)
+let axis t = t.axis
 
 let block_bounds lo hi pieces =
   (* [pieces] near-equal inclusive blocks covering [lo..hi]. *)
@@ -25,10 +33,10 @@ let block_bounds lo hi pieces =
       let b_lo = lo + c * n / pieces and b_hi = lo + ((c + 1) * n / pieces) - 1 in
       (b_lo, b_hi))
 
-let equal_blocks is pieces =
+let equal_blocks ?(axis = Flat) is pieces =
   if pieces <= 0 then invalid_arg "Partition.equal_blocks";
   if Iset.is_empty is then
-    { parent = is; subsets = Array.make pieces Iset.empty; disjoint = true }
+    { parent = is; subsets = Array.make pieces Iset.empty; disjoint = true; axis }
   else
     let lo = Iset.min_elt is and hi = Iset.max_elt is in
     let subsets =
@@ -36,9 +44,9 @@ let equal_blocks is pieces =
         (fun (blo, bhi) -> Iset.inter is (Iset.interval blo bhi))
         (block_bounds lo hi pieces)
     in
-    { parent = is; subsets; disjoint = true }
+    { parent = is; subsets; disjoint = true; axis }
 
-let equal_cardinality is pieces =
+let equal_cardinality ?(axis = Flat) is pieces =
   if pieces <= 0 then invalid_arg "Partition.equal_cardinality";
   let n = Iset.cardinal is in
   let subsets =
@@ -52,15 +60,15 @@ let equal_cardinality is pieces =
           let e_lo = Iset.nth is k_lo and e_hi = Iset.nth is k_hi in
           Iset.inter is (Iset.interval e_lo e_hi))
   in
-  { parent = is; subsets; disjoint = true }
+  { parent = is; subsets; disjoint = true; axis }
 
-let by_bounds is bounds =
+let by_bounds ?(axis = Flat) is bounds =
   let subsets =
     Array.map (fun (lo, hi) -> Iset.inter is (Iset.interval lo hi)) bounds
   in
-  { parent = is; subsets; disjoint = compute_disjoint subsets }
+  { parent = is; subsets; disjoint = compute_disjoint subsets; axis }
 
-let by_value_ranges ~values is ranges =
+let by_value_ranges ?(axis = Flat) ~values is ranges =
   let buckets = Array.map (fun _ -> ref []) ranges in
   Iset.iter
     (fun i ->
@@ -70,7 +78,7 @@ let by_value_ranges ~values is ranges =
         ranges)
     is;
   let subsets = Array.map (fun b -> Iset.of_list !b) buckets in
-  { parent = is; subsets; disjoint = compute_disjoint subsets }
+  { parent = is; subsets; disjoint = compute_disjoint subsets; axis }
 
 let union_of_colors t = Iset.union_list (Array.to_list t.subsets)
 let is_complete t = Iset.equal (union_of_colors t) t.parent

@@ -6,38 +6,50 @@
     Aliased (overlapping) partitions are first-class — preimages of shared
     structure routinely produce them (paper Fig. 6b). *)
 
+(** Which index space a partition's colors enumerate.  [Flat] partitions
+    are colored by piece id directly (one color per machine piece);
+    [Grid_dim d] partitions are colored by the machine grid's dimension [d]
+    (e.g. a row partition on a [gx * gy] grid has [gx] colors and every
+    piece in the same grid row selects the same color).  The interpreter
+    dispatches on this tag to map a piece id to its color — color {e
+    counts} are ambiguous on square grids, where [grid.(0) = grid.(1)]. *)
+type axis = Flat | Grid_dim of int
+
 type t = {
   parent : Iset.t;  (** the partitioned index space *)
   subsets : Iset.t array;  (** indexed by color *)
   disjoint : bool;  (** [true] when subsets are pairwise disjoint *)
+  axis : axis;  (** what the colors enumerate *)
 }
 
-(** [make parent subsets] checks each subset is contained in [parent] and
-    computes disjointness. *)
-val make : Iset.t -> Iset.t array -> t
+(** [make ?axis parent subsets] checks each subset is contained in [parent]
+    and computes disjointness.  [axis] defaults to [Flat]. *)
+val make : ?axis:axis -> Iset.t -> Iset.t array -> t
 
 val colors : t -> int
 val subset : t -> int -> Iset.t
+val axis : t -> axis
 
 (** [equal_blocks is pieces] partitions [is] into [pieces] contiguous blocks
     of near-equal {e universe} extent: the span [min..max] of [is] is divided
     evenly and each block keeps the members of [is] that fall inside it.  This
     is the paper's {e universe partition} (§II-B). *)
-val equal_blocks : Iset.t -> int -> t
+val equal_blocks : ?axis:axis -> Iset.t -> int -> t
 
 (** [equal_cardinality is pieces] partitions [is] into [pieces] contiguous
     groups of near-equal {e cardinality} — the paper's {e non-zero partition}
     (the tilde operator, §II-B). *)
-val equal_cardinality : Iset.t -> int -> t
+val equal_cardinality : ?axis:axis -> Iset.t -> int -> t
 
 (** [by_bounds is bounds] partitions by explicit per-color inclusive index
     bounds — the [partitionByBounds] operation of Table I. *)
-val by_bounds : Iset.t -> (int * int) array -> t
+val by_bounds : ?axis:axis -> Iset.t -> (int * int) array -> t
 
 (** [by_value_ranges ~values is ranges] colors index [i] of [is] with color
     [c] iff [values.(i)] falls in [ranges.(c)] — the [partitionByValueRanges]
     operation of Table I, used to bucket [crd] arrays by coordinate value. *)
-val by_value_ranges : values:int Region.t -> Iset.t -> (int * int) array -> t
+val by_value_ranges :
+  ?axis:axis -> values:int Region.t -> Iset.t -> (int * int) array -> t
 
 (** [union_of_colors p] is the set of indices covered by some color. *)
 val union_of_colors : t -> Iset.t

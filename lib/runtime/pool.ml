@@ -1,0 +1,158 @@
+type t = {
+  mutex : Mutex.t;
+  pending : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  nworkers : int;
+}
+
+let workers t = t.nworkers
+
+let worker_loop t () =
+  let rec take () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else
+        match Queue.take_opt t.queue with
+        | Some job ->
+            Mutex.unlock t.mutex;
+            Some job
+        | None ->
+            Condition.wait t.pending t.mutex;
+            wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+        job ();
+        take ()
+  in
+  take ()
+
+let create n =
+  let n = max 0 n in
+  let t =
+    {
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      nworkers = n;
+    }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.pending;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Evaluate [f 0 .. f (n-1)] strictly in index order on the calling domain.
+   [Array.init]'s evaluation order is unspecified, and callers rely on the
+   sequential path being the ascending-order reference execution. *)
+let seq_init n f =
+  if n = 0 then [||]
+  else begin
+    let r0 = f 0 in
+    let a = Array.make n r0 in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+let map t f n =
+  if n <= 0 then [||]
+  else if t.nworkers = 0 || n = 1 then seq_init n f
+  else begin
+    let results = Array.make n None in
+    let done_m = Mutex.create () and done_c = Condition.create () in
+    let remaining = ref n in
+    let job i () =
+      let r = try Ok (f i) with e -> Error e in
+      Mutex.lock done_m;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast done_c;
+      Mutex.unlock done_m
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    Condition.broadcast t.pending;
+    Mutex.unlock t.mutex;
+    (* The caller works the queue too instead of sitting idle, so a pool of
+       [w] workers computes with [w + 1] domains. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let j = Queue.take_opt t.queue in
+      Mutex.unlock t.mutex;
+      match j with
+      | Some job ->
+          job ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_m;
+    while !remaining > 0 do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared pools, keyed by worker count.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+let registry_mutex = Mutex.create ()
+
+let get n =
+  let n = max 0 n in
+  Mutex.lock registry_mutex;
+  let p =
+    match Hashtbl.find_opt registry n with
+    | Some p -> p
+    | None ->
+        let p = create n in
+        Hashtbl.add registry n p;
+        p
+  in
+  Mutex.unlock registry_mutex;
+  p
+
+let shutdown_all () =
+  Mutex.lock registry_mutex;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+  Hashtbl.reset registry;
+  Mutex.unlock registry_mutex;
+  List.iter shutdown pools
+
+let () = at_exit shutdown_all
+
+let effective_workers requested =
+  if requested <= 1 then 0
+  else
+    (* The reducing domain participates, so [requested] parallel pieces need
+       [requested - 1] extra domains; cap at the host's recommendation but
+       keep at least one worker so the parallel path stays exercisable (and
+       testable) on single-core hosts. *)
+    min (requested - 1) (max 1 (Domain.recommended_domain_count () - 1))

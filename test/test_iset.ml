@@ -75,6 +75,47 @@ let prop_nth =
   Helpers.qtest "nth enumerates in order" Helpers.arb_iset (fun a ->
       List.mapi (fun k _ -> Iset.nth a k) (model a) = model a)
 
+let prop_intersects_interval =
+  Helpers.qtest "intersects_interval = model"
+    QCheck.(triple Helpers.arb_iset (int_range 0 70) (int_range (-4) 10))
+    (fun (s, lo, len) ->
+      let hi = lo + len in
+      Iset.intersects_interval s lo hi
+      = List.exists (fun x -> lo <= x && x <= hi) (model s))
+
+let prop_intersects_agrees_with_inter =
+  Helpers.qtest "intersects_interval = non-empty inter"
+    QCheck.(triple Helpers.arb_iset (int_range 0 70) (int_range 0 10))
+    (fun (s, lo, len) ->
+      let hi = lo + len in
+      Iset.intersects_interval s lo hi
+      = not (Iset.is_empty (Iset.inter s (Iset.interval lo hi))))
+
+let test_edge_cases () =
+  let e = Iset.empty in
+  check_list "union with empty" [ 1; 2 ]
+    (Iset.elements (Iset.union e (Iset.interval 1 2)));
+  check_list "diff from empty" [] (Iset.elements (Iset.diff e (Iset.interval 1 2)));
+  check_list "diff of empty rhs" [ 1; 2 ]
+    (Iset.elements (Iset.diff (Iset.interval 1 2) e));
+  check_list "inter with empty" [] (Iset.elements (Iset.inter (Iset.interval 1 2) e));
+  Alcotest.(check bool)
+    "intersects on empty set" false (Iset.intersects_interval e 0 10);
+  Alcotest.(check bool)
+    "intersects with inverted interval" false
+    (Iset.intersects_interval (Iset.interval 0 10) 5 3);
+  Alcotest.(check bool)
+    "intersects at a shared endpoint" true
+    (Iset.intersects_interval (Iset.interval 0 4) 4 8);
+  (* Adjacent intervals: union coalesces, inter stays empty, diff splits. *)
+  let u = Iset.union (Iset.interval 0 3) (Iset.interval 4 7) in
+  Alcotest.(check int) "adjacent union coalesces" 1 (Iset.interval_count u);
+  check_list "adjacent inter is empty" []
+    (Iset.elements (Iset.inter (Iset.interval 0 3) (Iset.interval 4 7)));
+  let d = Iset.diff (Iset.interval 0 7) (Iset.interval 4 4) in
+  Alcotest.(check int) "punching a hole splits" 2 (Iset.interval_count d);
+  check_list "hole contents" [ 0; 1; 2; 3; 5; 6; 7 ] (Iset.elements d)
+
 let prop_diff_union_partition =
   Helpers.qtest "diff and inter partition the left operand"
     QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
@@ -86,6 +127,7 @@ let suite =
     Alcotest.test_case "construction" `Quick test_construction;
     Alcotest.test_case "queries" `Quick test_queries;
     Alcotest.test_case "operations" `Quick test_operations;
+    Alcotest.test_case "edge cases" `Quick test_edge_cases;
     prop_union;
     prop_inter;
     prop_diff;
@@ -93,4 +135,6 @@ let suite =
     prop_cardinal;
     prop_nth;
     prop_diff_union_partition;
+    prop_intersects_interval;
+    prop_intersects_agrees_with_inter;
   ]

@@ -14,6 +14,8 @@ let () =
       ("baselines", Test_baselines.suite);
       ("baselines-more", Test_baselines_more.suite);
       ("interp-more", Test_interp_more.suite);
+      ("pool", Test_pool.suite);
+      ("parallel", Test_parallel.suite);
       ("props", Test_props.suite);
       ("placement", Test_placement.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,81 @@
+(* The interpreter's domain pool: index-ordered results, sequential
+   degradation, exception propagation, shared-pool registry. *)
+
+open Spdistal_runtime
+
+let test_map_indexed () =
+  let pool = Pool.create 2 in
+  let r = Pool.map pool (fun i -> i * i) 50 in
+  Alcotest.(check (list int))
+    "results indexed by input"
+    (List.init 50 (fun i -> i * i))
+    (Array.to_list r);
+  (* Reuse across calls, including the n=1 and n=0 shortcuts. *)
+  for n = 0 to 5 do
+    Alcotest.(check int) "length" n (Array.length (Pool.map pool (fun i -> i) n))
+  done;
+  Pool.shutdown pool
+
+let test_sequential_order () =
+  let pool = Pool.create 0 in
+  Alcotest.(check int) "no workers" 0 (Pool.workers pool);
+  let order = ref [] in
+  let r =
+    Pool.map pool
+      (fun i ->
+        order := i :: !order;
+        i)
+      10
+  in
+  Alcotest.(check (list int))
+    "ascending evaluation order" (List.init 10 Fun.id) (List.rev !order);
+  Alcotest.(check (list int)) "results" (List.init 10 Fun.id) (Array.to_list r);
+  Pool.shutdown pool
+
+let test_exceptions () =
+  let pool = Pool.create 2 in
+  (try
+     ignore
+       (Pool.map pool
+          (fun i ->
+            if i = 3 then failwith "three"
+            else if i = 7 then failwith "seven"
+            else i)
+          10);
+     Alcotest.fail "expected an exception"
+   with Failure m ->
+     Alcotest.(check string) "smallest-index failure re-raised" "three" m);
+  (* The pool survives a failed map. *)
+  Alcotest.(check int) "still works" 4 (Pool.map pool (fun i -> i) 5).(4);
+  Pool.shutdown pool
+
+let test_registry () =
+  let a = Pool.get 1 and b = Pool.get 1 in
+  Alcotest.(check bool) "get memoizes by worker count" true (a == b);
+  Alcotest.(check int) "worker count" 1 (Pool.workers a);
+  let s = Pool.get 0 in
+  Alcotest.(check int) "sequential shared pool" 0 (Pool.workers s)
+
+let test_effective_workers () =
+  Alcotest.(check int) "degree 1 is sequential" 0 (Pool.effective_workers 1);
+  Alcotest.(check int) "degree 0 is sequential" 0 (Pool.effective_workers 0);
+  Alcotest.(check int) "negative is sequential" 0 (Pool.effective_workers (-3));
+  Alcotest.(check bool)
+    "degree >= 2 keeps at least one worker" true
+    (Pool.effective_workers 2 >= 1);
+  Alcotest.(check bool)
+    "never more workers than requested - 1" true
+    (Pool.effective_workers 4 <= 3);
+  Alcotest.(check bool)
+    "capped by the host recommendation" true
+    (Pool.effective_workers 64
+    <= max 1 (Domain.recommended_domain_count () - 1))
+
+let suite =
+  [
+    Alcotest.test_case "map is indexed" `Quick test_map_indexed;
+    Alcotest.test_case "sequential order" `Quick test_sequential_order;
+    Alcotest.test_case "exceptions" `Quick test_exceptions;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "effective workers" `Quick test_effective_workers;
+  ]
