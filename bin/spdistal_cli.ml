@@ -71,13 +71,45 @@ let domains_arg =
 (* Fold the --domains option into a command's action. *)
 let set_domains d = if d > 0 then Machine.set_sim_domains d
 
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the deterministic fault schedule (only meaningful with \
+           $(b,--fault-rate) > 0).")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-rate" ] ~docv:"RATE"
+        ~doc:
+          "Per-event probability of node crash, message loss and straggler \
+           injection.  Recovery is priced into the simulated cost; computed \
+           tensors stay bit-identical to the fault-free run.  0 (default) \
+           defers to $(b,SPDISTAL_FAULTS), which defaults to no faults.")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Recovery attempts per fault before the run is declared DNC \
+           (with $(b,--fault-rate)).")
+
+(* Fold the fault options into a command's action: an explicit --fault-rate
+   overrides SPDISTAL_FAULTS for the whole process. *)
+let set_faults seed rate retries =
+  if rate > 0. then Fault.set_default (Fault.make ~seed ~rate ~retries ())
+
 let load_dataset name =
   let e = Datasets.find name in
   e.Datasets.load ()
 
 let run_cmd =
-  let f kernel dataset system pieces gpu cols domains =
+  let f kernel dataset system pieces gpu cols domains fseed frate fretries =
     set_domains domains;
+    set_faults fseed frate fretries;
     let b = load_dataset dataset in
     let machine =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
@@ -95,7 +127,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
     Term.(
       const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
-      $ cols_arg $ domains_arg)
+      $ cols_arg $ domains_arg $ fault_seed_arg $ fault_rate_arg
+      $ max_retries_arg)
 
 let show_cmd =
   let f kernel dataset pieces gpu cols =
@@ -141,13 +174,17 @@ let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced tensors and machine sizes")
 
 let fig_cmd name doc compute print =
-  let f quick domains =
+  let f quick domains fseed frate fretries =
     set_domains domains;
+    set_faults fseed frate fretries;
     let cells = compute ~quick () in
     Format.printf "%a@." print cells;
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_arg $ domains_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const f $ quick_arg $ domains_arg $ fault_seed_arg $ fault_rate_arg
+      $ max_retries_arg)
 
 let fig10_cmd =
   fig_cmd "fig10" "CPU strong scaling (paper Fig. 10)"
@@ -170,13 +207,15 @@ let fig13_cmd =
     Fig13.print
 
 let ablations_cmd =
-  let f domains =
+  let f domains fseed frate fretries =
     set_domains domains;
+    set_faults fseed frate fretries;
     Format.printf "%a@." Spdistal_experiments.Ablations.run_all ();
     0
   in
   Cmd.v (Cmd.info "ablations" ~doc:"Run the DESIGN.md ablation benches")
-    Term.(const f $ domains_arg)
+    Term.(
+      const f $ domains_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg)
 
 let main =
   Cmd.group

@@ -24,7 +24,7 @@ let show p = Pretty.prog_to_string (compile p)
 
 type run_result = { cost : Cost.t; dnc : string option }
 
-let run ?(uvm = false) ?domains p =
+let run ?(uvm = false) ?domains ?faults p =
   let b = bindings p in
   let cost = Cost.create () in
   try
@@ -37,8 +37,14 @@ let run ?(uvm = false) ?domains p =
     let prog = compile p in
     let memstate = Memstate.create p.machine ~uvm in
     Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost
-      ?domains prog;
+      ?domains ?faults prog;
     { cost; dnc = None }
-  with Memstate.Oom reason -> { cost; dnc = Some reason }
+  with
+  | Memstate.Oom reason -> { cost; dnc = Some reason }
+  | Error.Error ({ Error.phase = Error.Recovery; _ } as e) ->
+      (* A fault that recovery could not absorb (retries exhausted, or no
+         surviving node).  Like OOM it is a property of the run, not a bug:
+         report a DNC cell.  Other [Error.Error] phases keep escaping. *)
+      { cost; dnc = Some ("fault recovery exhausted: " ^ Error.to_string e) }
 
 let time_of r = match r.dnc with Some _ -> None | None -> Some (Cost.total r.cost)

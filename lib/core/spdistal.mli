@@ -48,7 +48,9 @@ val show : problem -> string
 
 type run_result = {
   cost : Cost.t;  (** simulated time of one timed iteration *)
-  dnc : string option;  (** [Some reason] when the run OOMed (a DNC cell) *)
+  dnc : string option;
+      (** [Some reason] when the run OOMed or fault recovery was exhausted
+          (a DNC cell) *)
 }
 
 (** Execute one timed iteration: materializes data distributions, runs the
@@ -56,8 +58,15 @@ type run_result = {
     result carries [dnc] and the outputs are unspecified.  [domains] bounds
     the OCaml domains used to simulate pieces concurrently (default
     {!Spdistal_runtime.Machine.sim_domains}); it affects wall-clock only —
-    costs and outputs are bit-identical at every degree. *)
-val run : ?uvm:bool -> ?domains:int -> problem -> run_result
+    costs and outputs are bit-identical at every degree.
+
+    [faults] (default {!Spdistal_runtime.Fault.default}) injects a
+    deterministic fault schedule and prices Legion-style recovery into the
+    cost; outputs stay bit-identical to the fault-free run.  When recovery
+    is exhausted (a fault recurring past [max_retries]) the run reports a
+    DNC instead of raising. *)
+val run :
+  ?uvm:bool -> ?domains:int -> ?faults:Fault.config -> problem -> run_result
 
 (** Simulated seconds, or [None] on DNC. *)
 val time_of : run_result -> float option

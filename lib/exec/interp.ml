@@ -16,19 +16,16 @@ let color_for ~grid ~pieces part piece =
   | Partition.Flat ->
       if colors = pieces then piece
       else
-        invalid_arg
-          (Printf.sprintf "Interp: flat partition with %d colors on %d pieces"
-             colors pieces)
+        Error.fail ~piece Error.Launch "flat partition with %d colors on %d pieces"
+          colors pieces
   | Partition.Grid_dim d ->
       let nd = Array.length grid in
       if d < 0 || d >= nd then
-        invalid_arg
-          (Printf.sprintf "Interp: partition axis %d on a %d-d grid" d nd);
+        Error.fail ~piece Error.Launch "partition axis %d on a %d-d grid" d nd;
       if colors <> grid.(d) then
-        invalid_arg
-          (Printf.sprintf
-             "Interp: axis-%d partition with %d colors but grid dim has %d"
-             d colors grid.(d));
+        Error.fail ~piece Error.Launch
+          "axis-%d partition with %d colors but grid dim has %d" d colors
+          grid.(d);
       let stride = ref 1 in
       for k = d + 1 to nd - 1 do
         stride := !stride * grid.(k)
@@ -101,13 +98,20 @@ type piece_sim = {
           and execution was deferred to the reducing domain *)
 }
 
-let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
+let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
   let pieces = Loop_ir.pieces prog in
   if pieces <> Machine.pieces machine then
-    invalid_arg "Interp.run: program lowered for a different machine size";
+    Error.fail Error.Config "program lowered for a different machine size";
   let domains =
     match domains with Some d -> d | None -> Machine.sim_domains ()
   in
+  let fcfg =
+    let c = match faults with Some c -> c | None -> Fault.default () in
+    if Fault.enabled c then Some c else None
+  in
+  (* Launch index within this run: a coordinate of the fault schedule, so a
+     fault in launch 2 stays in launch 2 whatever the domain degree. *)
+  let launch_ix = ref (-1) in
   let pool = Pool.get (Pool.effective_workers domains) in
   let grid = prog.Loop_ir.grid in
   let penv = Part_eval.create bindings in
@@ -122,6 +126,17 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
   List.iter
     (function
       | Loop_ir.Distributed_for { shard_parts; comms; out_comm; leaf; _ } ->
+          incr launch_ix;
+          let launch = !launch_ix in
+          (* Nodes whose first attempt crashes during this launch: every
+             piece they host pays crash recovery, and each must have a
+             surviving slot to be remapped onto. *)
+          let crashed =
+            match fcfg with
+            | None -> []
+            | Some cfg -> Fault.crashed_nodes cfg ~machine ~launch
+          in
+          let kernel = leaf.Loop_ir.leaf_stmt.Tin.lhs.Tin.tensor in
           (* Leaf execution for one piece.  Runs on a worker domain when the
              launch's output writes are disjoint across pieces; launches that
              reduce into overlapping locations ([out_reduce]) run on the
@@ -131,7 +146,8 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
               match List.assoc_opt tname shard_parts with
               | Some pname -> subset_for (part pname) c
               | None ->
-                  invalid_arg (Printf.sprintf "Interp: no shard for %s" tname)
+                  Error.fail ~kernel ~piece:c Error.Leaf "no shard for %s"
+                    tname
             in
             let rows =
               Option.map
@@ -271,8 +287,35 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
                   else lt /. machine.Machine.params.legion_leaf_efficiency
                 else lt
               in
-              comm_times.(c) <- !comm_time;
-              leaf_times.(c) <- lt)
+              (* --- fault injection & Legion-style recovery ---
+                 The leaf above committed exactly once; injected faults are
+                 priced as the wasted attempts and re-executions that the
+                 real runtime would deterministically replay from region
+                 arguments, so only times/traffic change, never tensors.
+                 Evaluated here, on the reducing domain in piece order, so
+                 the schedule and its costs are identical at every
+                 --domains degree. *)
+              (match fcfg with
+              | None ->
+                  comm_times.(c) <- !comm_time;
+                  leaf_times.(c) <- lt
+              | Some cfg ->
+                  (* A piece on a crashed node must have a surviving slot
+                     (raises [Error.Recovery] when the whole cluster is
+                     gone). *)
+                  if List.mem (Machine.node_of_piece machine c) crashed then
+                    ignore (Placement.remap_piece ~machine ~crashed c);
+                  let r =
+                    Fault.recover_piece cfg ~machine ~launch ~piece:c
+                      ~msg_bytes:ps.ps_msg_bytes ~footprint:ps.ps_footprint
+                      ~comm_time:!comm_time ~leaf_time:lt
+                  in
+                  Cost.add_recovery cost ~retries:r.Fault.retries
+                    ~faults:(Fault.events r) ~bytes:r.Fault.resent_bytes
+                    ~messages:r.Fault.resent_msgs
+                    (r.Fault.extra_comm +. r.Fault.extra_leaf);
+                  comm_times.(c) <- !comm_time +. r.Fault.extra_comm;
+                  leaf_times.(c) <- lt +. r.Fault.extra_leaf))
             sims;
           let partials = List.rev !partials in
           Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
@@ -319,7 +362,7 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains prog =
             let first_in =
               match leaf.Loop_ir.driver with
               | Loop_ir.Merge_driver (t :: _) -> t
-              | _ -> invalid_arg "Interp: partials from a non-merge leaf"
+              | _ -> Error.fail ~kernel Error.Reduce "partials from a non-merge leaf"
             in
             let src = Operand.find_sparse bindings first_in in
             stitch_merge ~bindings ~out_name:out_acc.Tin.tensor

@@ -29,10 +29,20 @@
 
 open Spdistal_runtime
 
-(** [run ~machine ~bindings ~placement ?memstate ~cost ?domains prog]
+(** [run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog]
     executes [prog].  [domains] caps the OCaml domains used to simulate
     pieces of one launch concurrently (default
-    {!Spdistal_runtime.Machine.sim_domains}; [<= 1] means sequential). *)
+    {!Spdistal_runtime.Machine.sim_domains}; [<= 1] means sequential).
+
+    [faults] (default {!Spdistal_runtime.Fault.default}, i.e. the CLI
+    override or [SPDISTAL_FAULTS], else disabled) injects a deterministic
+    fault schedule — node crashes, message loss, stragglers — and prices
+    Legion-style recovery into [cost]: leaves still commit exactly once on
+    the reducing domain, so computed tensors are {e bit-identical} to the
+    fault-free run under any schedule; only per-piece times, moved bytes and
+    the recovery counters change.  Recovery exhaustion (a fault recurring
+    past [max_retries], or a crash with no surviving node) raises
+    {!Spdistal_runtime.Error.Error} with the [Recovery] phase. *)
 val run :
   machine:Machine.t ->
   bindings:Operand.bindings ->
@@ -40,6 +50,7 @@ val run :
   ?memstate:Memstate.t ->
   cost:Cost.t ->
   ?domains:int ->
+  ?faults:Fault.config ->
   Spdistal_ir.Loop_ir.prog ->
   unit
 

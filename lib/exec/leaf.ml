@@ -114,7 +114,7 @@ let src_of_var ~driver_acc ~inner_out ~inner_red v =
   else
     match var_pos_opt driver_acc v with
     | Some i -> Driver_dim i
-    | None -> invalid_arg (Printf.sprintf "Leaf: variable %s has no source" v)
+    | None -> Error.fail Error.Leaf "variable %s has no source" v
 
 let eval_src coords ~j ~k = function
   | Driver_dim d -> coords.(d)
@@ -135,7 +135,7 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
       List.find_opt (fun a -> a.Tin.tensor = driver_name) (Tin.rhs_accesses stmt)
     with
     | Some a -> a
-    | None -> invalid_arg "Leaf: driver access missing"
+    | None -> Error.fail ~kernel:driver_name Error.Leaf "driver access missing"
   in
   let out = stmt.Tin.lhs in
   let inner_out =
@@ -157,14 +157,15 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
           | Operand.Vec v -> (
               match a.Tin.indices with
               | [ iv ] -> Some (F_vec (v.Dense.data, src iv))
-              | _ -> invalid_arg "Leaf: vector arity")
+              | _ -> Error.fail ~kernel:a.Tin.tensor Error.Leaf "vector arity")
           | Operand.Mat m -> (
               match a.Tin.indices with
               | [ r; c ] ->
                   Some (F_mat (m.Dense.data, m.Dense.cols, src r, src c))
-              | _ -> invalid_arg "Leaf: matrix arity")
+              | _ -> Error.fail ~kernel:a.Tin.tensor Error.Leaf "matrix arity")
           | Operand.Sparse _ ->
-              invalid_arg "Leaf: second sparse operand in a product")
+              Error.fail ~kernel:a.Tin.tensor Error.Leaf
+                "second sparse operand in a product")
       (Tin.rhs_accesses stmt)
     |> Array.of_list
   in
@@ -173,11 +174,11 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
     | Operand.Vec v -> (
         match out.Tin.indices with
         | [ iv ] -> S_vec (v.Dense.data, src iv)
-        | _ -> invalid_arg "Leaf: output vector arity")
+        | _ -> Error.fail ~kernel:out.Tin.tensor Error.Leaf "output vector arity")
     | Operand.Mat m -> (
         match out.Tin.indices with
         | [ r; c ] -> S_mat (m.Dense.data, m.Dense.cols, src r, src c)
-        | _ -> invalid_arg "Leaf: output matrix arity")
+        | _ -> Error.fail ~kernel:out.Tin.tensor Error.Leaf "output matrix arity")
     | Operand.Sparse ot ->
         let depth = List.length out.Tin.indices in
         if depth = ord then S_sparse (ot.Tensor.vals.Region.data, None)
@@ -185,7 +186,7 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
   in
   let extent_of_inner v =
     let rec find = function
-      | [] -> invalid_arg (Printf.sprintf "Leaf: no extent for %s" v)
+      | [] -> Error.fail ~kernel:driver_name Error.Leaf "no extent for %s" v
       | (a : Tin.access) :: rest -> (
           match var_pos_opt a v with
           | Some p when a.Tin.tensor <> driver_name ->
@@ -262,7 +263,7 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
               | S_vec (d, s) ->
                   let i = eval_src coords ~j ~k:0 s in
                   d.(i) <- d.(i) +. y
-              | S_sparse _ -> invalid_arg "Leaf: inner-out with sparse output"
+              | S_sparse _ -> Error.fail ~kernel:driver_name Error.Leaf "inner-out with sparse output"
             done
         | None, Some _ -> (
             let acc = ref 0. in
@@ -284,7 +285,8 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
                 in
                 d.(i) <- d.(i) +. y)
         | Some _, Some _ ->
-            invalid_arg "Leaf: simultaneous inner output and reduction vars"
+            Error.fail ~kernel:driver_name Error.Leaf
+              "simultaneous inner output and reduction vars"
       done)
     shard;
   (* Work model: bytes move once per executed access; the output row
@@ -324,7 +326,8 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
     List.map
       (fun name ->
         let t = Operand.find_sparse bindings name in
-        if Tensor.order t <> 2 then invalid_arg "Leaf: merge needs matrices";
+        if Tensor.order t <> 2 then
+          Error.fail ~kernel:name Error.Leaf "merge needs matrices";
         ( (Tensor.pos_of t 1).Region.data,
           (Tensor.crd_of t 1).Region.data,
           t.Tensor.vals.Region.data ))
@@ -437,4 +440,4 @@ let execute ~bindings ~leaf ~shard_vals ~rows ~col_range () =
       | Some r ->
           merge_kernel ~bindings ~tensors ~rows:r
             ~use_workspace:leaf.Loop_ir.use_workspace
-      | None -> invalid_arg "Leaf: merge kernel needs a row set")
+      | None -> Error.fail Error.Leaf "merge kernel needs a row set")

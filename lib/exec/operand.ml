@@ -1,4 +1,5 @@
 open Spdistal_formats
+module Error = Spdistal_runtime.Error
 
 type data = Sparse of Tensor.t | Vec of Dense.vec | Mat of Dense.mat
 type slot = { mutable data : data }
@@ -11,30 +12,34 @@ let mat m = { data = Mat m }
 let find bindings name =
   match List.assoc_opt name bindings with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Operand.find: unbound %s" name)
+  | None -> Error.fail Error.Config "unbound operand %s" name
 
 let find_sparse bindings name =
   match (find bindings name).data with
   | Sparse t -> t
-  | Vec _ | Mat _ -> invalid_arg (Printf.sprintf "Operand: %s is not sparse" name)
+  | Vec _ | Mat _ -> Error.fail ~kernel:name Error.Config "operand is not sparse"
 
 let find_vec bindings name =
   match (find bindings name).data with
   | Vec v -> v
-  | Sparse _ | Mat _ -> invalid_arg (Printf.sprintf "Operand: %s is not a vector" name)
+  | Sparse _ | Mat _ -> Error.fail ~kernel:name Error.Config "operand is not a vector"
 
 let find_mat bindings name =
   match (find bindings name).data with
   | Mat m -> m
-  | Sparse _ | Vec _ -> invalid_arg (Printf.sprintf "Operand: %s is not a matrix" name)
+  | Sparse _ | Vec _ -> Error.fail ~kernel:name Error.Config "operand is not a matrix"
 
 let dim data d =
   match data with
   | Sparse t -> t.Tensor.dims.(d)
   | Vec v ->
-      if d <> 0 then invalid_arg "Operand.dim: vector has one dimension";
+      if d <> 0 then Error.fail Error.Config "Operand.dim: vector has one dimension";
       v.Dense.n
-  | Mat m -> ( match d with 0 -> m.Dense.rows | 1 -> m.Dense.cols | _ -> invalid_arg "Operand.dim")
+  | Mat m -> (
+      match d with
+      | 0 -> m.Dense.rows
+      | 1 -> m.Dense.cols
+      | _ -> Error.fail Error.Config "Operand.dim: bad dimension %d" d)
 
 let order = function
   | Sparse t -> Tensor.order t
@@ -60,7 +65,7 @@ let slice_bytes data d =
       match d with
       | 0 -> 8. *. float_of_int m.Dense.cols
       | 1 -> 8. *. float_of_int m.Dense.rows
-      | _ -> invalid_arg "Operand.slice_bytes")
+      | _ -> Error.fail Error.Config "Operand.slice_bytes: bad dimension %d" d)
 
 let bytes = function
   | Sparse t -> float_of_int (Tensor.bytes t)

@@ -28,14 +28,14 @@ let sparse env name =
   match data env name with
   | Operand.Sparse t -> t
   | Operand.Vec _ | Operand.Mat _ ->
-      invalid_arg (Printf.sprintf "Part_eval: %s is not sparse" name)
+      Error.fail ~kernel:name Error.Partition_eval "operand is not sparse"
 
 let eval_dim env = function
   | Loop_ir.Dim_of_level (t, k) -> (
       match data env t with
       | Operand.Sparse tn -> tn.Tensor.dims.(tn.Tensor.mode_order.(k))
       | Operand.Vec v ->
-          if k <> 0 then invalid_arg "Part_eval: vector level";
+          if k <> 0 then Error.fail Error.Partition_eval "vector level %d" k;
           v.Dense.n
       | Operand.Mat m -> if k = 0 then m.Dense.rows else m.Dense.cols)
   | Loop_ir.Extent_of_level (t, k) -> Tensor.level_extent (sparse env t) k
@@ -48,7 +48,7 @@ let rec eval_aexpr env ~color e =
   | Loop_ir.Int n -> n
   | Loop_ir.Color_var v ->
       if v = cvar then cval
-      else invalid_arg (Printf.sprintf "Part_eval: unbound color var %s" v)
+      else Error.fail Error.Partition_eval "unbound color var %s" v
   | Loop_ir.Dim d -> eval_dim env d
   | Loop_ir.Add (a, b) -> eval_aexpr env ~color a + eval_aexpr env ~color b
   | Loop_ir.Sub (a, b) -> eval_aexpr env ~color a - eval_aexpr env ~color b
@@ -63,19 +63,19 @@ let rref_ispace env = function
       match data env t with
       | Operand.Sparse tn -> Iset.range (Tensor.level_extent tn k)
       | Operand.Vec v ->
-          if k <> 0 then invalid_arg "Part_eval: vector dom";
+          if k <> 0 then Error.fail Error.Partition_eval "vector dom %d" k;
           Iset.range v.Dense.n
       | Operand.Mat m -> Iset.range (if k = 0 then m.Dense.rows else m.Dense.cols))
 
 let find_partition env name =
   match Hashtbl.find_opt env.partitions name with
   | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Part_eval: undefined partition %s" name)
+  | None -> Error.fail Error.Partition_eval "undefined partition %s" name
 
 let coloring_state env name =
   match Hashtbl.find_opt env.colorings name with
   | Some st -> st
-  | None -> invalid_arg (Printf.sprintf "Part_eval: undefined coloring %s" name)
+  | None -> Error.fail Error.Partition_eval "undefined coloring %s" name
 
 let coloring_bounds env name =
   let st = coloring_state env name in
@@ -99,7 +99,7 @@ let eval_pexpr env = function
       let crd =
         match target with
         | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
-        | _ -> invalid_arg "Part_eval: value ranges need a crd region"
+        | _ -> Error.fail Error.Partition_eval "value ranges need a crd region"
       in
       env.dep_ops <- env.dep_ops + 1;
       let bounds, axis = coloring_bounds env coloring in
@@ -108,7 +108,7 @@ let eval_pexpr env = function
       let posr =
         match pos with
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
-        | _ -> invalid_arg "Part_eval: image needs a pos region"
+        | _ -> Error.fail Error.Partition_eval "image needs a pos region"
       in
       env.dep_ops <- env.dep_ops + 1;
       Dependent.image_ranges posr (find_partition env part) (rref_ispace env target)
@@ -116,7 +116,7 @@ let eval_pexpr env = function
       let posr =
         match pos with
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
-        | _ -> invalid_arg "Part_eval: preimage needs a pos region"
+        | _ -> Error.fail Error.Partition_eval "preimage needs a pos region"
       in
       env.dep_ops <- env.dep_ops + 1;
       Dependent.preimage_ranges posr (find_partition env part)
@@ -124,7 +124,7 @@ let eval_pexpr env = function
       let crdr =
         match crd with
         | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
-        | _ -> invalid_arg "Part_eval: imageValues needs a crd region"
+        | _ -> Error.fail Error.Partition_eval "imageValues needs a crd region"
       in
       env.dep_ops <- env.dep_ops + 1;
       Dependent.image_values crdr (find_partition env part) (rref_ispace env target)
@@ -165,18 +165,18 @@ let rec eval_stmt env = function
                 let st =
                   match Hashtbl.find_opt env.colorings coloring with
                   | Some st -> st
-                  | None -> invalid_arg "Part_eval: entry before init"
+                  | None -> Error.fail Error.Partition_eval "entry before init"
                 in
                 st.entries <- (l, h) :: st.entries
             | s -> eval_stmt env s)
           body
       done
   | Loop_ir.Coloring_entry _ ->
-      invalid_arg "Part_eval: coloring entry outside a color loop"
+      Error.fail Error.Partition_eval "coloring entry outside a color loop"
   | Loop_ir.Def_partition { pname; expr } ->
       Hashtbl.replace env.partitions pname (eval_pexpr env expr)
   | Loop_ir.Distributed_for _ ->
-      invalid_arg "Part_eval: distributed loop reached partition evaluator"
+      Error.fail Error.Partition_eval "distributed loop reached partition evaluator"
 
 let eval_partitions env prog =
   let loops = ref [] in

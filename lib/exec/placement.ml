@@ -62,7 +62,28 @@ let of_tdn ~machine ~bindings name tdn =
       ignore (Part_eval.eval_partitions penv prog);
       Vals_partitioned (Part_eval.find_partition penv (name ^ "ValsPart"))
   | (Operand.Vec _ | Operand.Mat _), _ ->
-      invalid_arg "Placement.of_tdn: unsupported dense distribution"
+      Error.fail ~kernel:name Error.Placement "unsupported dense distribution"
+
+(* Remap a piece whose node crashed onto a surviving grid slot:
+   deterministic round-robin over the pieces of surviving nodes, mirroring a
+   Legion mapper re-mapping a task whose target processor died.  Slots are
+   homogeneous and the replacement re-fetches its inputs over the network
+   either way, so the target's identity matters for liveness (no survivors
+   means the cluster is gone), not for the cost model. *)
+let remap_piece ~machine ~crashed piece =
+  if crashed = [] then piece
+  else
+    let survivors =
+      List.filter
+        (fun p -> not (List.mem (Machine.node_of_piece machine p) crashed))
+        (List.init (Machine.pieces machine) Fun.id)
+    in
+    match survivors with
+    | [] ->
+        Error.fail ~piece Error.Recovery
+          "all %d nodes crashed; no surviving slot to remap onto"
+          (Machine.nodes machine)
+    | _ -> List.nth survivors (piece mod List.length survivors)
 
 let resident_set t ~tensor ~comm_dim ~piece_subset =
   match find t tensor with

@@ -27,6 +27,13 @@ val of_tdn :
   machine:Machine.t -> bindings:Operand.bindings -> string -> Spdistal_ir.Tdn.t ->
   residency
 
+(** [remap_piece ~machine ~crashed piece] is the surviving grid slot that
+    re-executes [piece] when the nodes in [crashed] died: deterministic
+    round-robin over the pieces of surviving nodes (identity when [crashed]
+    is empty).  Raises {!Spdistal_runtime.Error.Error} ([Recovery]) when no
+    node survives. *)
+val remap_piece : machine:Machine.t -> crashed:int list -> int -> int
+
 (** [resident_set placement ~tensor ~comm_dim ~piece ~colors_of] is the set
     already on [piece] for the given communicated dimension ([-1] = leaf
     positions of a sparse operand), or [None] when fully resident. *)

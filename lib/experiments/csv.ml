@@ -58,18 +58,52 @@ let fig13 points =
     points;
   Buffer.contents b
 
-let write_all ~dir ~fig10:c10 ~fig11:c11 ~fig12:c12 ~fig13:c13 =
+type fault_row = {
+  f_kernel : string;
+  f_rate : float;
+  f_seed : int;
+  f_seconds : float option;  (** [None] = DNC (recovery exhausted) *)
+  f_baseline : float;  (** fault-free simulated seconds *)
+  f_recovery : float;  (** simulated seconds spent recovering *)
+  f_retries : int;
+  f_resent_bytes : float;
+  f_faults : int;  (** fault events recovered *)
+  f_identical : bool;  (** outputs bitwise equal to the fault-free run *)
+}
+
+let faults rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "kernel,rate,seed,seconds,baseline_seconds,overhead_pct,recovery_seconds,retries,resent_bytes,fault_events,outputs_identical\n";
+  List.iter
+    (fun r ->
+      let overhead =
+        match r.f_seconds with
+        | Some t when r.f_baseline > 0. ->
+            Printf.sprintf "%.3f" (100. *. (t -. r.f_baseline) /. r.f_baseline)
+        | _ -> "DNC"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%.3f,%d,%s,%.9f,%s,%.9f,%d,%.3e,%d,%b\n" r.f_kernel
+           r.f_rate r.f_seed (time_cell r.f_seconds) r.f_baseline overhead
+           r.f_recovery r.f_retries r.f_resent_bytes r.f_faults r.f_identical))
+    rows;
+  Buffer.contents b
+
+let write_file ~dir name contents =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let write name contents =
-    let path = Filename.concat dir name in
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc;
-    path
-  in
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let write_faults ~dir rows = write_file ~dir "faults.csv" (faults rows)
+
+let write_all ~dir ~fig10:c10 ~fig11:c11 ~fig12:c12 ~fig13:c13 =
   [
-    write "fig10.csv" (fig10 c10);
-    write "fig11.csv" (fig11 c11);
-    write "fig12.csv" (fig12 c12);
-    write "fig13.csv" (fig13 c13);
+    write_file ~dir "fig10.csv" (fig10 c10);
+    write_file ~dir "fig11.csv" (fig11 c11);
+    write_file ~dir "fig12.csv" (fig12 c12);
+    write_file ~dir "fig13.csv" (fig13 c13);
   ]

@@ -6,6 +6,27 @@ val fig11 : Fig11.cell list -> string
 val fig12 : Fig12.cell list -> string
 val fig13 : Fig13.point list -> string
 
+(** One cell of the fault-rate sweep: a kernel run under an injected fault
+    schedule, against its fault-free baseline. *)
+type fault_row = {
+  f_kernel : string;
+  f_rate : float;
+  f_seed : int;
+  f_seconds : float option;  (** [None] = DNC (recovery exhausted) *)
+  f_baseline : float;  (** fault-free simulated seconds *)
+  f_recovery : float;  (** simulated seconds spent recovering *)
+  f_retries : int;
+  f_resent_bytes : float;
+  f_faults : int;  (** fault events recovered *)
+  f_identical : bool;  (** outputs bitwise equal to the fault-free run *)
+}
+
+val faults : fault_row list -> string
+
+(** [write_faults ~dir rows] writes faults.csv under [dir] (created if
+    missing) and returns the path. *)
+val write_faults : dir:string -> fault_row list -> string
+
 (** [write_all ~dir ...] writes fig10.csv .. fig13.csv under [dir] (created
     if missing) and returns the paths. *)
 val write_all :

@@ -7,6 +7,10 @@ type t = {
   mutable messages : int;
   mutable launches : int;
   mutable flops : float;
+  mutable recovery : float;
+  mutable retries : int;
+  mutable resent_bytes : float;
+  mutable faults : int;
 }
 
 let create () =
@@ -19,6 +23,10 @@ let create () =
     messages = 0;
     launches = 0;
     flops = 0.;
+    recovery = 0.;
+    retries = 0;
+    resent_bytes = 0.;
+    faults = 0;
   }
 
 let reset t =
@@ -29,7 +37,11 @@ let reset t =
   t.bytes_moved <- 0.;
   t.messages <- 0;
   t.launches <- 0;
-  t.flops <- 0.
+  t.flops <- 0.;
+  t.recovery <- 0.;
+  t.retries <- 0;
+  t.resent_bytes <- 0.;
+  t.faults <- 0
 
 let add_compute t dt =
   t.compute <- t.compute +. dt;
@@ -46,6 +58,19 @@ let add_overhead t dt =
   t.total <- t.total +. dt
 
 let add_flops t f = t.flops <- t.flops +. f
+
+(* Recovery is book-keeping: the clock impact of fault recovery flows
+   through the inflated per-piece times of [record_launch_split] (critical
+   path), exactly like [bytes_moved] tracks volume without advancing the
+   clock.  [dt] here is the sum of per-piece recovery seconds. *)
+let add_recovery t ?(retries = 0) ?(faults = 0) ?(bytes = 0.) ?(messages = 0)
+    dt =
+  t.recovery <- t.recovery +. dt;
+  t.retries <- t.retries + retries;
+  t.faults <- t.faults + faults;
+  t.resent_bytes <- t.resent_bytes +. bytes;
+  t.bytes_moved <- t.bytes_moved +. bytes;
+  t.messages <- t.messages + messages
 
 let record_launch t ~machine ~piece_times =
   let critical = Array.fold_left Float.max 0. piece_times in
@@ -72,4 +97,8 @@ let pp fmt t =
     "%.6fs (compute %.6fs, comm %.6fs, overhead %.6fs; %.3e B moved, %d msgs, \
      %d launches, %.3e flops)"
     t.total t.compute t.comm t.overhead t.bytes_moved t.messages t.launches
-    t.flops
+    t.flops;
+  if t.faults > 0 then
+    Format.fprintf fmt
+      " [%d faults recovered: %.6fs, %d retries, %.3e B resent]" t.faults
+      t.recovery t.retries t.resent_bytes

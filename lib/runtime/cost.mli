@@ -15,6 +15,13 @@ type t = {
   mutable messages : int;
   mutable launches : int;
   mutable flops : float;  (** total flops over all pieces *)
+  mutable recovery : float;
+      (** simulated seconds spent recovering from injected faults (summed
+          over pieces; the clock impact flows through the launch critical
+          path) *)
+  mutable retries : int;  (** fault-recovery re-executions and re-sends *)
+  mutable resent_bytes : float;  (** bytes re-transferred by recovery *)
+  mutable faults : int;  (** injected fault events recovered from *)
 }
 
 val create : unit -> t
@@ -26,6 +33,13 @@ val add_compute : t -> float -> unit
 val add_comm : t -> ?bytes:float -> ?messages:int -> float -> unit
 val add_overhead : t -> float -> unit
 val add_flops : t -> float -> unit
+
+(** Book-keep fault-recovery overhead: [dt] simulated seconds of recovery
+    work, re-sent [bytes] (also counted into [bytes_moved]) and [messages].
+    Does {e not} advance [total] — recovery inflates the per-piece times fed
+    to {!record_launch_split}, which carries the clock. *)
+val add_recovery :
+  t -> ?retries:int -> ?faults:int -> ?bytes:float -> ?messages:int -> float -> unit
 
 (** [record_launch t ~machine ~piece_times] advances the clock by the max of
     per-piece times plus the machine's launch overhead. *)

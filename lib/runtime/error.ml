@@ -1,0 +1,54 @@
+type phase =
+  | Compile
+  | Partition_eval
+  | Placement
+  | Launch
+  | Leaf
+  | Reduce
+  | Recovery
+  | Config
+
+type t = {
+  phase : phase;
+  kernel : string option;
+  piece : int option;
+  what : string;
+}
+
+exception Error of t
+
+let phase_name = function
+  | Compile -> "compile"
+  | Partition_eval -> "partition-eval"
+  | Placement -> "placement"
+  | Launch -> "launch"
+  | Leaf -> "leaf"
+  | Reduce -> "reduce"
+  | Recovery -> "recovery"
+  | Config -> "config"
+
+let to_string e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (phase_name e.phase);
+  (match e.kernel with
+  | Some k ->
+      Buffer.add_char b '[';
+      Buffer.add_string b k;
+      Buffer.add_char b ']'
+  | None -> ());
+  (match e.piece with
+  | Some p -> Buffer.add_string b (Printf.sprintf " piece %d" p)
+  | None -> ());
+  Buffer.add_string b ": ";
+  Buffer.add_string b e.what;
+  Buffer.contents b
+
+let fail ?kernel ?piece phase fmt =
+  Printf.ksprintf
+    (fun what -> raise (Error { phase; kernel; piece; what }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Spdistal error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,36 @@
+(** Structured runtime errors.
+
+    A real Legion runtime distinguishes a task that {e faulted} (and may be
+    re-executed from its region arguments) from a program that is simply
+    wrong.  This repo's analog: real bugs in the compiler/runtime/leaf
+    kernels raise {!Error} carrying phase, kernel and piece context, while
+    injected faults live entirely inside {!Fault} (they never surface as
+    exceptions unless recovery is exhausted, and then with the {!Recovery}
+    phase).  Catching [Error {phase = Recovery; _}] is therefore always a
+    fault-tolerance outcome, never a masked bug. *)
+
+type phase =
+  | Compile  (** lowering/scheduling rejected the program *)
+  | Partition_eval  (** dependent-partitioning evaluation *)
+  | Placement  (** data-distribution lowering *)
+  | Launch  (** distributed-launch setup (piece/color mapping) *)
+  | Leaf  (** leaf kernel execution *)
+  | Reduce  (** reducing piece results / stitching outputs *)
+  | Recovery  (** fault recovery exhausted (injected faults only) *)
+  | Config  (** invalid configuration / unbound operands *)
+
+type t = {
+  phase : phase;
+  kernel : string option;  (** kernel or tensor the failure is scoped to *)
+  piece : int option;  (** piece of the distributed launch, when known *)
+  what : string;
+}
+
+exception Error of t
+
+val phase_name : phase -> string
+val to_string : t -> string
+
+(** [fail ?kernel ?piece phase fmt ...] raises {!Error} with a formatted
+    message. *)
+val fail : ?kernel:string -> ?piece:int -> phase -> ('a, unit, string, 'b) format4 -> 'a

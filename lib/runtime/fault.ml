@@ -1,0 +1,306 @@
+(* Deterministic fault injection and Legion-style recovery for the simulated
+   distributed runtime.
+
+   Three failure models, mirroring what Legion's runtime tolerates:
+   - node crash: every piece mapped to a node dies mid-launch and is
+     re-executed on a surviving grid slot (which holds none of the task's
+     inputs, so the whole footprint is re-fetched over the network);
+   - message loss: a transfer times out and is retried with exponential
+     backoff;
+   - straggler: a piece's leaf time is inflated; past a deadline a
+     speculative copy is launched on a fresh slot and the first finisher
+     wins.
+
+   Because tasks are deterministic functions of their region arguments
+   (Legion's execution model, which the interpreter reproduces by committing
+   each leaf exactly once, on the reducing domain, in piece order), recovery
+   never changes computed tensors: every fault is charged purely to
+   simulated time and traffic via {!Cost}.  The schedule is a pure function
+   of (seed, event coordinates) — never of execution order — so injection is
+   identical at every --domains degree. *)
+
+type config = {
+  seed : int;
+  crash_rate : float;
+  loss_rate : float;
+  straggle_rate : float;
+  straggle_factor : float;
+  max_retries : int;
+  backoff : float;
+  deadline_factor : float;
+}
+
+let disabled =
+  {
+    seed = 0;
+    crash_rate = 0.;
+    loss_rate = 0.;
+    straggle_rate = 0.;
+    straggle_factor = 8.;
+    max_retries = 5;
+    backoff = 1e-4;
+    deadline_factor = 2.;
+  }
+
+let enabled c = c.crash_rate > 0. || c.loss_rate > 0. || c.straggle_rate > 0.
+
+let check_rate what r =
+  if r < 0. || r >= 1. then
+    Error.fail Error.Config "fault %s rate %g outside [0, 1)" what r
+
+let make ?(seed = 42) ?(rate = 0.) ?crash ?loss ?straggle ?(factor = 8.)
+    ?(retries = 5) ?(backoff = 1e-4) ?(deadline = 2.) () =
+  let pick = function Some r -> r | None -> rate in
+  let crash_rate = pick crash
+  and loss_rate = pick loss
+  and straggle_rate = pick straggle in
+  check_rate "crash" crash_rate;
+  check_rate "loss" loss_rate;
+  check_rate "straggle" straggle_rate;
+  if factor < 1. then
+    Error.fail Error.Config "straggle factor %g must be >= 1" factor;
+  if retries < 1 then
+    Error.fail Error.Config "max-retries %d must be >= 1" retries;
+  if backoff < 0. then Error.fail Error.Config "backoff %g must be >= 0" backoff;
+  if deadline < 1. then
+    Error.fail Error.Config "deadline factor %g must be >= 1" deadline;
+  {
+    seed;
+    crash_rate;
+    loss_rate;
+    straggle_rate;
+    straggle_factor = factor;
+    max_retries = retries;
+    backoff;
+    deadline_factor = deadline;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration sources: SPDISTAL_FAULTS / CLI override.              *)
+(* ------------------------------------------------------------------ *)
+
+let env_var = "SPDISTAL_FAULTS"
+
+(* "seed=7,rate=0.1" or per-class overrides:
+   "seed=7,crash=0.05,loss=0.1,straggle=0.2,factor=8,retries=5,backoff=1e-4,deadline=2".
+   A bare number is a rate for all three classes. *)
+let of_string s =
+  try
+    let seed = ref 42
+    and rate = ref 0.
+    and crash = ref None
+    and loss = ref None
+    and straggle = ref None
+    and factor = ref 8.
+    and retries = ref 5
+    and backoff = ref 1e-4
+    and deadline = ref 2. in
+    String.split_on_char ',' (String.trim s)
+    |> List.iter (fun field ->
+           let field = String.trim field in
+           if field <> "" then
+             match String.index_opt field '=' with
+             | None -> rate := float_of_string field
+             | Some i ->
+                 let k = String.trim (String.sub field 0 i)
+                 and v =
+                   String.trim
+                     (String.sub field (i + 1) (String.length field - i - 1))
+                 in
+                 (match k with
+                 | "seed" -> seed := int_of_string v
+                 | "rate" -> rate := float_of_string v
+                 | "crash" -> crash := Some (float_of_string v)
+                 | "loss" -> loss := Some (float_of_string v)
+                 | "straggle" -> straggle := Some (float_of_string v)
+                 | "factor" -> factor := float_of_string v
+                 | "retries" -> retries := int_of_string v
+                 | "backoff" -> backoff := float_of_string v
+                 | "deadline" -> deadline := float_of_string v
+                 | _ -> Error.fail Error.Config "unknown fault key %s" k));
+    Ok
+      (make ~seed:!seed ~rate:!rate ?crash:!crash ?loss:!loss
+         ?straggle:!straggle ~factor:!factor ~retries:!retries
+         ~backoff:!backoff ~deadline:!deadline ())
+  with
+  | Error.Error e -> Result.Error (Error.to_string e)
+  | Failure _ -> Result.Error (Printf.sprintf "unparsable fault spec %S" s)
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+      match of_string s with
+      | Ok c -> Some c
+      | Result.Error msg -> Error.fail Error.Config "%s: %s" env_var msg)
+
+let default_override = ref None
+let set_default c = default_override := Some c
+
+let default () =
+  match !default_override with
+  | Some c -> c
+  | None -> ( match of_env () with Some c -> c | None -> disabled)
+
+(* ------------------------------------------------------------------ *)
+(* The schedule: pure per-event draws.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One splitmix64 step per event, seeded by an integer hash of the event's
+   coordinates.  No shared stream: the draw for (launch, piece, msg,
+   attempt) is the same whatever order pieces are simulated in. *)
+let mixi h k =
+  let h = h lxor ((k + 0x9E3779B9) * 0x85EBCA6B) in
+  let h = (h lxor (h lsr 13)) * 0xC2B2AE35 in
+  h lxor (h lsr 16)
+
+let draw cfg stream coords =
+  Srng.float (Srng.create (List.fold_left mixi (mixi cfg.seed stream) coords))
+
+let node_crashed cfg ~launch ~node ~attempt =
+  cfg.crash_rate > 0. && draw cfg 1 [ launch; node; attempt ] < cfg.crash_rate
+
+let msg_lost cfg ~launch ~piece ~msg ~attempt =
+  cfg.loss_rate > 0.
+  && draw cfg 2 [ launch; piece; msg; attempt ] < cfg.loss_rate
+
+let straggler cfg ~launch ~piece =
+  if cfg.straggle_rate > 0. && draw cfg 3 [ launch; piece ] < cfg.straggle_rate
+  then Some cfg.straggle_factor
+  else None
+
+let backoff_time cfg attempt = cfg.backoff *. float_of_int (1 lsl min attempt 20)
+
+(* A single-node "cluster" has no fault domain to fail over to, so crashes
+   are only injected when there is somewhere to recover. *)
+let crashed_nodes cfg ~machine ~launch =
+  let nodes = Machine.nodes machine in
+  if cfg.crash_rate <= 0. || nodes <= 1 then []
+  else
+    List.filter
+      (fun n -> node_crashed cfg ~launch ~node:n ~attempt:0)
+      (List.init nodes Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: convert one piece's injected faults into simulated cost.  *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  extra_comm : float;
+  extra_leaf : float;
+  resent_bytes : float;
+  resent_msgs : int;
+  retries : int;
+  crashes : int;
+  losses : int;
+  stragglers : int;
+}
+
+let no_recovery =
+  {
+    extra_comm = 0.;
+    extra_leaf = 0.;
+    resent_bytes = 0.;
+    resent_msgs = 0;
+    retries = 0;
+    crashes = 0;
+    losses = 0;
+    stragglers = 0;
+  }
+
+let events r = r.crashes + r.losses + r.stragglers
+
+let recover_piece cfg ~machine ~launch ~piece ~msg_bytes ~footprint ~comm_time
+    ~leaf_time =
+  if not (enabled cfg) then no_recovery
+  else begin
+    let extra_comm = ref 0.
+    and extra_leaf = ref 0.
+    and bytes = ref 0.
+    and msgs = ref 0
+    and retries = ref 0
+    and crashes = ref 0
+    and losses = ref 0
+    and stragglers = ref 0 in
+    let refetch () =
+      bytes := !bytes +. footprint;
+      incr msgs;
+      Machine.p2p_time machine ~intra_node:false ~bytes:footprint
+    in
+    (* --- node crash: the attempt dies mid-launch (half its comm + compute
+       is wasted on average); after detection backoff the piece is remapped
+       onto a surviving slot, which must re-fetch the entire input footprint
+       before re-executing the leaf from its region arguments. *)
+    if Machine.nodes machine > 1 then begin
+      let node = Machine.node_of_piece machine piece in
+      let rec attempt a =
+        if node_crashed cfg ~launch ~node ~attempt:a then begin
+          if a + 1 > cfg.max_retries then
+            Error.fail ~piece Error.Recovery
+              "node %d crashed %d consecutive times in launch %d \
+               (max-retries %d)"
+              node (a + 1) launch cfg.max_retries;
+          incr crashes;
+          incr retries;
+          extra_comm :=
+            !extra_comm
+            +. (0.5 *. (comm_time +. leaf_time))
+            +. backoff_time cfg a +. refetch ();
+          extra_leaf := !extra_leaf +. leaf_time;
+          attempt (a + 1)
+        end
+      in
+      attempt 0
+    end;
+    (* --- message loss: a lost transfer is detected after a timeout that
+       backs off exponentially, then re-sent over the network. *)
+    List.iteri
+      (fun m b ->
+        let rec attempt a =
+          if msg_lost cfg ~launch ~piece ~msg:m ~attempt:a then begin
+            if a + 1 > cfg.max_retries then
+              Error.fail ~piece Error.Recovery
+                "message %d (%.0f B) lost %d consecutive times in launch %d \
+                 (max-retries %d)"
+                m b (a + 1) launch cfg.max_retries;
+            incr losses;
+            incr retries;
+            bytes := !bytes +. b;
+            incr msgs;
+            extra_comm :=
+              !extra_comm +. backoff_time cfg a
+              +. Machine.p2p_time machine ~intra_node:false ~bytes:b;
+            attempt (a + 1)
+          end
+        in
+        attempt 0)
+      msg_bytes;
+    (* --- straggler: the leaf runs [straggle_factor] times slower.  Past
+       the speculation deadline a backup copy is launched on a fresh slot
+       (re-fetching the footprint); the piece completes when the first copy
+       does. *)
+    (match straggler cfg ~launch ~piece with
+    | Some f when leaf_time > 0. ->
+        incr stragglers;
+        let inflated = leaf_time *. f in
+        let deadline = leaf_time *. cfg.deadline_factor in
+        let finished =
+          if inflated > deadline then begin
+            incr retries;
+            Float.min inflated (deadline +. refetch () +. leaf_time)
+          end
+          else inflated
+        in
+        extra_leaf := !extra_leaf +. (finished -. leaf_time)
+    | Some _ | None -> ());
+    {
+      extra_comm = !extra_comm;
+      extra_leaf = !extra_leaf;
+      resent_bytes = !bytes;
+      resent_msgs = !msgs;
+      retries = !retries;
+      crashes = !crashes;
+      losses = !losses;
+      stragglers = !stragglers;
+    }
+  end

@@ -86,6 +86,9 @@ let nodes t =
   | Cpu -> pieces t
   | Gpu -> (pieces t + t.params.gpus_per_node - 1) / t.params.gpus_per_node
 
+let pieces_on_node t n =
+  List.filter (fun p -> node_of_piece t p = n) (List.init (pieces t) Fun.id)
+
 let compute_time t ~flops ~bytes =
   let rate, bw =
     match t.kind with

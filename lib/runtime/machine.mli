@@ -71,6 +71,10 @@ val node_of_piece : t -> int -> int
 
 val nodes : t -> int
 
+(** Pieces hosted by a node, in ascending order (the fault domain lost when
+    that node crashes). *)
+val pieces_on_node : t -> int -> int list
+
 (** {1 Time model} *)
 
 (** Roofline leaf time for one piece: [max (flops/rate) (bytes/bw)]. *)

@@ -18,7 +18,7 @@ let make ?(axis = Flat) parent subsets =
   Array.iter
     (fun s ->
       if not (Iset.subset s parent) then
-        invalid_arg "Partition.make: subset escapes parent")
+        Error.fail Error.Partition_eval "Partition.make: subset escapes parent")
     subsets;
   { parent; subsets; disjoint = compute_disjoint subsets; axis }
 
@@ -34,7 +34,8 @@ let block_bounds lo hi pieces =
       (b_lo, b_hi))
 
 let equal_blocks ?(axis = Flat) is pieces =
-  if pieces <= 0 then invalid_arg "Partition.equal_blocks";
+  if pieces <= 0 then
+    Error.fail Error.Partition_eval "Partition.equal_blocks: %d pieces" pieces;
   if Iset.is_empty is then
     { parent = is; subsets = Array.make pieces Iset.empty; disjoint = true; axis }
   else
@@ -47,7 +48,8 @@ let equal_blocks ?(axis = Flat) is pieces =
     { parent = is; subsets; disjoint = true; axis }
 
 let equal_cardinality ?(axis = Flat) is pieces =
-  if pieces <= 0 then invalid_arg "Partition.equal_cardinality";
+  if pieces <= 0 then
+    Error.fail Error.Partition_eval "Partition.equal_cardinality: %d pieces" pieces;
   let n = Iset.cardinal is in
   let subsets =
     Array.init pieces (fun c ->

@@ -29,7 +29,12 @@ let worker_loop t () =
     match wait () with
     | None -> ()
     | Some job ->
-        job ();
+        (* Jobs enqueued by [map] capture their own exceptions, but a worker
+           domain must never die of one that escapes anyway: a dead worker
+           silently shrinks the pool for every later launch and poisons
+           [shutdown]'s join with a stale exception.  Swallow as a last
+           resort — the error surfaces through [map]'s capture path. *)
+        (try job () with _ -> ());
         take ()
   in
   take ()
@@ -78,10 +83,21 @@ let map t f n =
     let results = Array.make n None in
     let done_m = Mutex.create () and done_c = Condition.create () in
     let remaining = ref n in
+    (* Exactly one exception (the smallest-index failure, with its original
+       backtrace) is re-raised on the calling domain, and only after every
+       job has drained — the pool is left reusable. *)
+    let first_error = ref None in
     let job i () =
-      let r = try Ok (f i) with e -> Error e in
+      let r =
+        try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock done_m;
-      results.(i) <- Some r;
+      (match r with
+      | Ok v -> results.(i) <- Some v
+      | Error err -> (
+          match !first_error with
+          | Some (j, _) when j < i -> ()
+          | _ -> first_error := Some (i, err)));
       decr remaining;
       if !remaining = 0 then Condition.broadcast done_c;
       Mutex.unlock done_m
@@ -110,12 +126,12 @@ let map t f n =
       Condition.wait done_c done_m
     done;
     Mutex.unlock done_m;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
+    match !first_error with
+    | Some (_, (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results
   end
 
 (* ------------------------------------------------------------------ *)

@@ -21,7 +21,9 @@ val workers : t -> int
 (** [map t f n] evaluates [f 0 .. f (n-1)] and returns the results indexed
     by input.  With workers the evaluation order is unspecified; without,
     it is ascending.  If any [f i] raised, the exception of the
-    smallest-index failure is re-raised after all tasks finish. *)
+    smallest-index failure is re-raised {e exactly once}, on the calling
+    domain, with its original backtrace, and only after every job has
+    drained — the pool stays reusable and no worker domain dies. *)
 val map : t -> (int -> 'a) -> int -> 'a array
 
 (** Stop and join the workers.  The pool must not be used afterwards. *)

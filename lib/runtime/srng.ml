@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  (* splitmix64 *)
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Srng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.
+
+let zipf t ~n ~alpha =
+  (* Inverse-power transform of a uniform draw: heavier head for larger
+     alpha. *)
+  let u = float t in
+  let x = u ** (1. /. (1. +. alpha)) in
+  (* map [0,1) -> [0,n) concentrating near 0 *)
+  let v = (1. -. x) *. float_of_int n *. 2. in
+  min (n - 1) (int_of_float v)

@@ -1,7 +1,7 @@
-(** Alias of {!Spdistal_runtime.Srng} (the implementation moved into the
-    runtime so fault injection can share the deterministic streams). *)
+(** Deterministic splitmix64 random streams — every workload is reproducible
+    from its seed, independent of OCaml's global RNG state. *)
 
-type t = Spdistal_runtime.Srng.t
+type t
 
 val create : int -> t
 

@@ -39,7 +39,11 @@ let leaf_time machine w =
     base *. penalty
   else base
 
-let index_launch cost machine ?(comm = fun _ -> []) ~work () =
+let index_launch cost machine ?faults ?(launch = 0) ?(comm = fun _ -> [])
+    ~work () =
+  let fcfg =
+    match faults with Some c when Fault.enabled c -> Some c | _ -> None
+  in
   let p = Machine.pieces machine in
   let piece_times = Array.make p 0. in
   let total_bytes = ref 0. and total_msgs = ref 0 in
@@ -52,7 +56,24 @@ let index_launch cost machine ?(comm = fun _ -> []) ~work () =
       ts;
     let w = work i in
     Cost.add_flops cost w.flops;
-    piece_times.(i) <- transfers_time machine ts +. leaf_time machine w
+    let ct = transfers_time machine ts and lt = leaf_time machine w in
+    let extra =
+      match fcfg with
+      | None -> 0.
+      | Some cfg ->
+          let r =
+            Fault.recover_piece cfg ~machine ~launch ~piece:i
+              ~msg_bytes:(List.map (fun t -> t.bytes) ts)
+              ~footprint:(List.fold_left (fun a t -> a +. t.bytes) 0. ts)
+              ~comm_time:ct ~leaf_time:lt
+          in
+          Cost.add_recovery cost ~retries:r.Fault.retries
+            ~faults:(Fault.events r) ~bytes:r.Fault.resent_bytes
+            ~messages:r.Fault.resent_msgs
+            (r.Fault.extra_comm +. r.Fault.extra_leaf);
+          r.Fault.extra_comm +. r.Fault.extra_leaf
+    in
+    piece_times.(i) <- ct +. lt +. extra
   done;
   (* Book-keep volume without double-advancing the clock: the critical path
      already includes per-piece comm time. *)

@@ -24,10 +24,17 @@ val ( ++ ) : work -> work -> work
     the simulator is deterministic), charging per-piece time
     [comm_time p + leaf_time p] and taking the max across pieces, plus launch
     overhead.  [comm p] lists the transfers that must land in piece [p]'s
-    memory before its task runs. *)
+    memory before its task runs.
+
+    When [faults] is enabled, each piece additionally plays out its
+    deterministic fault schedule (crashes, lost transfers, stragglers) for
+    [launch] and its recovery overhead inflates the piece's time; see
+    {!Fault.recover_piece}. *)
 val index_launch :
   Cost.t ->
   Machine.t ->
+  ?faults:Fault.config ->
+  ?launch:int ->
   ?comm:(int -> transfer list) ->
   work:(int -> work) ->
   unit ->

@@ -12,9 +12,12 @@ let test_operand () =
   Alcotest.(check int) "vec order" 1 (Operand.order (Operand.find b "v").Operand.data);
   Helpers.check_float "vec slice bytes" 8.
     (Operand.slice_bytes (Operand.find b "v").Operand.data 0);
-  Alcotest.check_raises "wrong kind"
-    (Invalid_argument "Operand: B is not a vector") (fun () ->
-      ignore (Operand.find_vec b "B"));
+  (try
+     ignore (Operand.find_vec b "B");
+     Alcotest.fail "expected Error.Error for wrong operand kind"
+   with Error.Error e ->
+     Alcotest.(check string)
+       "wrong kind" "config[B]: operand is not a vector" (Error.to_string e));
   let env = Operand.env_of_bindings b in
   Alcotest.(check int) "env size" 2 (List.length env)
 

@@ -1,4 +1,8 @@
 let () =
+  (* Hermeticity: a SPDISTAL_FAULTS env override (the CI chaos matrix sets
+     one) must not leak into golden/numeric tests — only Test_fault reads
+     the env, explicitly.  Costs under faults are covered there. *)
+  Spdistal_runtime.Fault.set_default Spdistal_runtime.Fault.disabled;
   Alcotest.run "spdistal"
     [
       ("iset", Test_iset.suite);
@@ -16,6 +20,7 @@ let () =
       ("interp-more", Test_interp_more.suite);
       ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
+      ("fault", Test_fault.suite);
       ("props", Test_props.suite);
       ("placement", Test_placement.suite);
       ("workloads", Test_workloads.suite);

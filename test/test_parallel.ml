@@ -38,8 +38,8 @@ let test_color_for_rejects_mismatch () =
   let check_rejects name p =
     try
       ignore (Interp.color_for ~grid ~pieces p 0);
-      Alcotest.fail (name ^ ": expected Invalid_argument")
-    with Invalid_argument _ -> ()
+      Alcotest.fail (name ^ ": expected Error.Error")
+    with Error.Error { Error.phase = Error.Launch; _ } -> ()
   in
   (* A flat partition must have one color per piece — the old color-count
      heuristic silently accepted 2 colors here. *)

@@ -45,9 +45,14 @@ let test_by_value_ranges () =
     (Iset.elements (Partition.subset p 1))
 
 let test_make_validates () =
-  Alcotest.check_raises "subset escapes parent"
-    (Invalid_argument "Partition.make: subset escapes parent") (fun () ->
-      ignore (Partition.make (Iset.range 3) [| Iset.interval 2 5 |]))
+  try
+    ignore (Partition.make (Iset.range 3) [| Iset.interval 2 5 |]);
+    Alcotest.fail "expected Error.Error for escaping subset"
+  with Error.Error e ->
+    Alcotest.(check string)
+      "phase and message"
+      "partition-eval: Partition.make: subset escapes parent"
+      (Error.to_string e)
 
 let prop_equal_blocks_laws =
   Helpers.qtest "equal_blocks: disjoint and complete"

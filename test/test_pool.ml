@@ -49,6 +49,29 @@ let test_exceptions () =
   Alcotest.(check int) "still works" 4 (Pool.map pool (fun i -> i) 5).(4);
   Pool.shutdown pool
 
+let test_structured_error_once () =
+  (* A leaf raising a structured error through the SHARED pool (the one the
+     interpreter uses at --domains 4): the error surfaces exactly once on
+     the main domain, and the pool keeps its full worker complement — a
+     worker dying silently would shrink every later parallel run. *)
+  let pool = Pool.get (Pool.effective_workers 4) in
+  let raised = ref 0 in
+  (try
+     ignore
+       (Pool.map pool
+          (fun i ->
+            if i = 5 then Error.fail ~piece:i Error.Leaf "injected leaf failure"
+            else i)
+          64)
+   with Error.Error e ->
+     incr raised;
+     Alcotest.(check string)
+       "structured leaf error" "leaf piece 5: injected leaf failure"
+       (Error.to_string e));
+  Alcotest.(check int) "raised exactly once on the main domain" 1 !raised;
+  let r = Pool.map pool (fun i -> 3 * i) 64 in
+  Alcotest.(check int) "shared pool reusable at full width" (3 * 63) r.(63)
+
 let test_registry () =
   let a = Pool.get 1 and b = Pool.get 1 in
   Alcotest.(check bool) "get memoizes by worker count" true (a == b);
@@ -76,6 +99,8 @@ let suite =
     Alcotest.test_case "map is indexed" `Quick test_map_indexed;
     Alcotest.test_case "sequential order" `Quick test_sequential_order;
     Alcotest.test_case "exceptions" `Quick test_exceptions;
+    Alcotest.test_case "structured error once, pool reusable" `Quick
+      test_structured_error_once;
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "effective workers" `Quick test_effective_workers;
   ]
