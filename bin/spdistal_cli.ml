@@ -217,13 +217,132 @@ let ablations_cmd =
     Term.(
       const f $ domains_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg)
 
+let fuzz_cmd =
+  let open Spdistal_fuzz in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed")
+  in
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"K" ~doc:"Cases to run")
+  in
+  let max_dim_arg =
+    Arg.(
+      value & opt int Gen.default_params.Gen.max_dim
+      & info [ "max-dim" ] ~docv:"D" ~doc:"Largest index-variable dimension")
+  in
+  let max_pieces_arg =
+    Arg.(
+      value & opt int Gen.default_params.Gen.max_pieces
+      & info [ "max-pieces" ] ~docv:"P" ~doc:"Largest 1-D machine grid")
+  in
+  let fault_prob_arg =
+    Arg.(
+      value & opt float Gen.default_params.Gen.fault_prob
+      & info [ "fault-prob" ] ~docv:"P"
+          ~doc:"Probability a case carries a fault schedule")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "budget-seconds" ] ~docv:"S"
+          ~doc:"Stop after S seconds of CPU time (0 = no time box)")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print a line per case")
+  in
+  let inject_bug_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Flip a block bound inside the lowerer (debug hook) to exercise \
+             the failure path end to end: the campaign should catch and \
+             shrink it")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"SPEC" ~doc:"Check one serialized spec and exit")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Replay every *.case file in DIR and exit")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the shrunk reproducer report to FILE on failure")
+  in
+  let f seed count max_dim max_pieces fault_prob budget verbose inject_bug
+      replay corpus out domains =
+    set_domains domains;
+    Fault.set_default Fault.disabled;
+    if inject_bug then Spdistal_ir.Lower.set_debug_flip_block_bound true;
+    match (replay, corpus) with
+    | Some line, _ ->
+        let v = Campaign.replay_line line in
+        print_endline (Check.verdict_to_string v);
+        (match v with Check.Fail _ | Check.Reject _ -> 1 | _ -> 0)
+    | None, Some dir ->
+        let results = Campaign.replay_corpus ~dir in
+        let bad =
+          List.filter
+            (fun (_, v) ->
+              match v with Check.Fail _ | Check.Reject _ -> true | _ -> false)
+            results
+        in
+        List.iter
+          (fun (loc, v) ->
+            Printf.printf "%s: %s\n" loc (Check.verdict_to_string v))
+          (if verbose then results else bad);
+        Printf.printf "corpus: %d cases, %d bad\n" (List.length results)
+          (List.length bad);
+        if bad = [] then 0 else 1
+    | None, None ->
+        let params =
+          { Gen.default_params with Gen.max_dim; max_pieces; fault_prob }
+        in
+        let progress =
+          if verbose then
+            Some
+              (fun ~index ~spec v ->
+                Printf.printf "case %d: %s\n  %s\n%!" index
+                  (Check.verdict_to_string v) (Spec.to_string spec))
+          else None
+        in
+        let report =
+          Campaign.run ~params ?progress ~budget_seconds:budget ~seed ~count ()
+        in
+        print_endline (Campaign.report_to_string report);
+        (match (report.Campaign.failure, out) with
+        | Some fc, Some path ->
+            let oc = open_out path in
+            output_string oc fc.Campaign.text;
+            close_out oc;
+            Printf.printf "reproducer written to %s\n" path
+        | _ -> ());
+        if report.Campaign.failure = None then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized differential testing across the four sub-languages \
+          (statements, formats, distributions, schedules), with shrinking")
+    Term.(
+      const f $ seed_arg $ count_arg $ max_dim_arg $ max_pieces_arg
+      $ fault_prob_arg $ budget_arg $ verbose_arg $ inject_bug_arg $ replay_arg
+      $ corpus_arg $ out_arg $ domains_arg)
+
 let main =
   Cmd.group
     (Cmd.info "spdistal" ~version:"1.0.0"
        ~doc:"SpDISTAL reproduction: distributed sparse tensor algebra compiler")
     [
       run_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd; fig11_cmd;
-      fig12_cmd; fig13_cmd; ablations_cmd;
+      fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

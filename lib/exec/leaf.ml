@@ -211,8 +211,16 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
   let coord_arrays = Array.init nslots (fun s -> exp.ecoords.(s)) in
   let coords = Array.make nslots 0 in
   let nf = Array.length factors in
+  (* Literal coefficients multiply through the (fragment-validated: pure)
+     product; they were silently dropped before the fuzzer caught it. *)
+  let rec lit_product = function
+    | Tin.Lit f -> f
+    | Tin.Mul (a, b) -> lit_product a *. lit_product b
+    | Tin.Access _ | Tin.Add _ -> 1.
+  in
+  let scale = lit_product stmt.Tin.rhs in
   let eval_factors ~j ~k =
-    let acc = ref 1.0 in
+    let acc = ref scale in
     for f = 0 to nf - 1 do
       acc :=
         !acc

@@ -95,6 +95,10 @@ let eval_pexpr env = function
   | Loop_ir.By_bounds { target; coloring } ->
       let bounds, axis = coloring_bounds env coloring in
       Partition.by_bounds ~axis (rref_ispace env target) bounds
+  | Loop_ir.By_bounds_strided { target; coloring; dim } ->
+      let d = eval_dim env dim in
+      let bounds, axis = coloring_bounds env coloring in
+      Partition.by_bounds_strided ~axis (rref_ispace env target) ~dim:d bounds
   | Loop_ir.By_value_ranges { target; coloring } ->
       let crd =
         match target with

@@ -59,11 +59,24 @@ let reference bindings (stmt : Tin.stmt) =
   loop vars;
   out
 
-let max_error bindings (stmt : Tin.stmt) =
+type diff = { coords : int list; expected : float; actual : float }
+
+type comparison = {
+  checked : int;
+  mismatched : int;
+  max_abs_err : float;
+  samples : diff list;
+}
+
+let ok c = c.mismatched = 0
+
+let compare ?(rtol = 0.) ?(atol = 0.) ?(max_samples = 5) bindings
+    (stmt : Tin.stmt) =
   let expected = reference bindings stmt in
   let doms = var_domains bindings stmt in
-  let err = ref 0. in
   let dims = List.map (fun v -> Hashtbl.find doms v) stmt.Tin.lhs.Tin.indices in
+  let checked = ref 0 and mismatched = ref 0 and max_err = ref 0. in
+  let samples = ref [] and nsamples = ref 0 in
   let rec loop prefix = function
     | [] ->
         let key = List.rev prefix in
@@ -75,11 +88,45 @@ let max_error bindings (stmt : Tin.stmt) =
                stmt.Tin.lhs.Tin.indices key;
              env)
         in
-        err := Float.max !err (Float.abs (want -. got))
+        incr checked;
+        let err = Float.abs (want -. got) in
+        if err > !max_err then max_err := err;
+        if err > atol +. (rtol *. Float.abs want) then begin
+          incr mismatched;
+          if !nsamples < max_samples then begin
+            samples := { coords = key; expected = want; actual = got } :: !samples;
+            incr nsamples
+          end
+        end
     | n :: rest ->
         for x = 0 to n - 1 do
           loop (x :: prefix) rest
         done
   in
   loop [] dims;
-  !err
+  {
+    checked = !checked;
+    mismatched = !mismatched;
+    max_abs_err = !max_err;
+    samples = List.rev !samples;
+  }
+
+let pp_diff fmt c =
+  if c.mismatched = 0 then
+    Format.fprintf fmt "all %d coordinates match (max |err| %g)" c.checked
+      c.max_abs_err
+  else begin
+    Format.fprintf fmt "%d/%d coordinates mismatch (max |err| %g):"
+      c.mismatched c.checked c.max_abs_err;
+    List.iter
+      (fun d ->
+        Format.fprintf fmt "@\n  (%s): expected %.17g, got %.17g"
+          (String.concat "," (List.map string_of_int d.coords))
+          d.expected d.actual)
+      c.samples
+  end
+
+let diff_to_string c = Format.asprintf "%a" pp_diff c
+
+let max_error bindings (stmt : Tin.stmt) =
+  (compare ~atol:infinity bindings stmt).max_abs_err

@@ -58,7 +58,11 @@ let of_coo ~name ~formats ?mode_order ?(assume_sorted = false) coo =
                   "Tensor.of_coo: Singleton level under shared parent \
                    positions"
             done;
-            let crd = Array.make (max !parent_extent 1) 0 in
+            (* Exactly one slot per parent position — notably zero slots for
+               an empty parent level.  A [max 1] guard here used to mint a
+               phantom position on empty tensors, whose partitions then
+               escaped the sibling crd regions (found by the fuzzer). *)
+            let crd = Array.make !parent_extent 0 in
             for i = 0 to n - 1 do
               crd.(pp.(i)) <- coord i
             done;

@@ -1,0 +1,157 @@
+(* The differential oracle.  One case exercises, in order:
+   - round-trips: the spec line, the TIN statement and the schedule each
+     re-parse to what they printed (the sub-language pretty-printers are
+     load-bearing in reproducers, so they are checked on every case);
+   - the full pipeline (Lower -> Part_eval -> Placement -> Interp) against
+     the dense reference evaluator, within float tolerances;
+   - build determinism: rebuilding and re-running is bit-identical;
+   - domain invariance: the host simulation degree never changes outputs or
+     costs (PR-1 invariant);
+   - fault invariance: an injected fault schedule never changes outputs
+     (PR-2 invariant); runs that exhaust recovery report DNC, which is a
+     legitimate outcome, not a failure. *)
+
+open Spdistal_runtime
+open Spdistal_exec
+open Core
+
+type failure = { prop : string; detail : string }
+
+type verdict =
+  | Pass
+  | Skip of string  (** ran but produced nothing checkable (e.g. DNC) *)
+  | Reject of string  (** compiler refused a case the generator emitted *)
+  | Fail of failure
+
+let rtol = 1e-9
+let atol = 1e-12
+
+type exec_result =
+  | Ran of Cost.t
+  | Dnc of string
+  | Rejected of string
+  | Crashed of string
+
+let exec ?(domains = 1) ?(faults = Fault.disabled) p =
+  match Spdistal.run ~domains ~faults p with
+  | { cost; dnc = None } -> Ran cost
+  | { dnc = Some reason; _ } -> Dnc reason
+  | exception Invalid_argument m -> Rejected m
+  | exception Error.Error e -> (
+      match e.Error.phase with
+      | Error.Compile | Error.Config -> Rejected (Error.to_string e)
+      | _ -> Crashed (Error.to_string e))
+  | exception exn -> Crashed (Printexc.to_string exn)
+
+let fail prop fmt = Printf.ksprintf (fun detail -> Fail { prop; detail }) fmt
+
+let check_roundtrips spec =
+  let line = Spec.to_string spec in
+  match Spec.of_string line with
+  | Error m -> fail "spec-roundtrip" "%S does not re-parse: %s" line m
+  | Ok spec' when not (Spec.equal spec spec') ->
+      fail "spec-roundtrip" "%S re-parses to %S" line (Spec.to_string spec')
+  | Ok _ -> (
+      let stmt = Spec.stmt spec in
+      let s = Spdistal_ir.Tin.to_string stmt in
+      match Spdistal_ir.Tin.of_string s with
+      | Error m -> fail "tin-roundtrip" "%S does not re-parse: %s" s m
+      | Ok stmt' when stmt' <> stmt ->
+          fail "tin-roundtrip" "%S re-parses to %S" s
+            (Spdistal_ir.Tin.to_string stmt')
+      | Ok _ -> (
+          let sched = Spec.schedule spec in
+          let s = Spdistal_ir.Schedule.to_string sched in
+          match Spdistal_ir.Schedule.of_string s with
+          | Error m -> fail "schedule-roundtrip" "%S does not re-parse: %s" s m
+          | Ok sched' when sched' <> sched ->
+              fail "schedule-roundtrip" "%S re-parses to %S" s
+                (Spdistal_ir.Schedule.to_string sched')
+          | Ok _ -> Pass))
+
+let faults_of spec =
+  match spec.Spec.faults with
+  | None -> Fault.disabled
+  | Some (seed, rate) -> Fault.make ~seed ~rate ~retries:8 ()
+
+exception Done of verdict
+
+let run spec =
+  let stop v = raise (Done v) in
+  try
+    (match check_roundtrips spec with Pass -> () | v -> stop v);
+    let p =
+      match Spec.build spec with
+      | p -> p
+      | exception Invalid_argument m -> stop (Reject ("build: " ^ m))
+      | exception exn ->
+          stop (Fail { prop = "build"; detail = Printexc.to_string exn })
+    in
+    let cost =
+      match exec p with
+      | Ran cost -> cost
+      | Rejected m -> stop (Reject m)
+      | Crashed m -> stop (Fail { prop = "pipeline"; detail = m })
+      | Dnc reason -> stop (Skip ("DNC: " ^ reason))
+    in
+    (* differential check against the dense reference *)
+    let cmp =
+      Validate.compare ~rtol ~atol (Spdistal.bindings p) (Spec.stmt spec)
+    in
+    if not (Validate.ok cmp) then
+      stop (fail "differential" "%s" (Validate.diff_to_string cmp));
+    let base_out = Snapshot.outputs p in
+    let base_cost = Snapshot.cost cost in
+    (* rebuild determinism: a fresh build + run is bit-identical *)
+    let p2 = Spec.build spec in
+    (match exec p2 with
+    | Ran cost2
+      when Snapshot.equal base_out (Snapshot.outputs p2)
+           && Snapshot.equal base_cost (Snapshot.cost cost2) ->
+        ()
+    | Ran _ ->
+        stop (fail "rebuild-determinism" "fresh build + run is not bit-identical")
+    | Dnc r -> stop (fail "rebuild-determinism" "DNC only on rebuild: %s" r)
+    | Rejected m | Crashed m ->
+        stop (fail "rebuild-determinism" "failed on rebuild: %s" m));
+    (* domain invariance (PR-1) *)
+    if spec.Spec.domains > 1 then begin
+      let p3 = Spec.build spec in
+      match exec ~domains:spec.Spec.domains p3 with
+      | Ran cost3
+        when Snapshot.equal base_out (Snapshot.outputs p3)
+             && Snapshot.equal base_cost (Snapshot.cost cost3) ->
+          ()
+      | Ran _ ->
+          stop
+            (fail "domain-invariance" "outputs or cost differ at domains=%d"
+               spec.Spec.domains)
+      | Dnc r ->
+          stop
+            (fail "domain-invariance" "DNC only at domains=%d: %s"
+               spec.Spec.domains r)
+      | Rejected m | Crashed m ->
+          stop
+            (fail "domain-invariance" "failed at domains=%d: %s"
+               spec.Spec.domains m)
+    end;
+    (* fault invariance (PR-2): outputs identical; DNC under faults is a
+       legitimate outcome *)
+    (match spec.Spec.faults with
+    | None -> ()
+    | Some _ -> (
+        let p4 = Spec.build spec in
+        match exec ~faults:(faults_of spec) p4 with
+        | Ran _ when Snapshot.equal base_out (Snapshot.outputs p4) -> ()
+        | Ran _ -> stop (fail "fault-invariance" "outputs differ under fault injection")
+        | Dnc _ -> ()
+        | Rejected m | Crashed m ->
+            stop (fail "fault-invariance" "failed under fault injection: %s" m)));
+    Pass
+  with Done v -> v
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Skip m -> "skip: " ^ m
+  | Reject m -> "reject: " ^ m
+  | Fail { prop; detail } -> Printf.sprintf "FAIL [%s]: %s" prop detail

@@ -1,0 +1,27 @@
+(** The differential oracle run on every fuzz case.
+
+    Properties checked, in order: sub-language round-trips (spec line, TIN
+    statement, schedule), the full pipeline against the dense reference
+    evaluator ({!Spdistal_exec.Validate}), rebuild determinism, simulation
+    domain invariance, and fault invariance.  DNC (OOM / recovery
+    exhaustion) is a legitimate outcome, reported as [Skip]. *)
+
+type failure = { prop : string; detail : string }
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Reject of string
+      (** the compiler refused a generated case — a generator bug worth a
+          report, but distinct from a wrong answer *)
+  | Fail of failure
+
+(** Comparison tolerances of the differential property. *)
+val rtol : float
+
+val atol : float
+
+(** Run all properties on one case. *)
+val run : Spec.t -> verdict
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,177 @@
+(* Greedy first-improvement shrinking.  [candidates] proposes simpler specs
+   in priority order (structural simplifications first, then data-size
+   reductions); [minimize] repeatedly takes the first candidate that still
+   fails, until a fixpoint or the step budget runs out.  Candidates must stay
+   well-formed: each transformation repairs dependent fields (schedules that
+   reference dropped structure, TDNs of dropped operands, workspaces of
+   un-merged statements). *)
+
+open Spdistal_formats
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+(* Keep only TDN entries whose operand still exists. *)
+let prune_tdns (spec : Spec.t) =
+  let names = Spec.operand_names spec in
+  { spec with tdns = List.filter (fun (n, _) -> List.mem n names) spec.tdns }
+
+(* A universe schedule over the first driver variable is valid for every
+   statement shape the generator emits (it is always an output variable of
+   sparse-output cases). *)
+let simplest_sched (spec : Spec.t) =
+  Spec.S_universe { var = List.hd spec.driver_vars; par = false }
+
+let candidates (spec : Spec.t) : Spec.t list =
+  let structural =
+    (* drop dense factors one at a time *)
+    List.mapi
+      (fun i _ -> prune_tdns { spec with factors = drop_nth i spec.factors })
+      spec.factors
+    (* drop the literal coefficient *)
+    @ (match spec.lit with
+      | Some _ -> [ { spec with lit = None } ]
+      | None -> [])
+    (* fewer merge inputs; reaching zero turns the merge into a pattern
+       - preserving identity, whose output must become prefix-shaped and
+       whose workspace request must go *)
+    @ (if spec.merge_extra > 1 then
+         [ prune_tdns { spec with merge_extra = spec.merge_extra - 1 } ]
+       else if spec.merge_extra = 1 then
+         [
+           prune_tdns
+             {
+               spec with
+               merge_extra = 0;
+               out = Spec.Out_sparse_prefix { o_name = Spec.out_name spec; depth = 2 };
+               workspace = false;
+             };
+         ]
+       else [])
+  in
+  let sched =
+    (match spec.sched with
+    | Spec.S_universe { var; par = true } ->
+        [ { spec with sched = Spec.S_universe { var; par = false } } ]
+    | Spec.S_nnz { fuse; par } ->
+        [ { spec with sched = simplest_sched spec; grid = [| spec.grid.(0) |] } ]
+        @ (if par then [ { spec with sched = Spec.S_nnz { fuse; par = false } } ]
+           else [])
+        @
+        if fuse > 1 then
+          [ { spec with sched = Spec.S_nnz { fuse = fuse - 1; par } } ]
+        else []
+    | Spec.S_batched { par } ->
+        [
+          {
+            spec with
+            sched = simplest_sched spec;
+            grid = [| Array.fold_left ( * ) 1 spec.grid |];
+          };
+        ]
+        @
+        if par then [ { spec with sched = Spec.S_batched { par = false } } ]
+        else []
+    | Spec.S_universe { par = false; _ } -> [])
+  in
+  let environment =
+    (match spec.faults with Some _ -> [ { spec with faults = None } ] | None -> [])
+    @ (if spec.domains > 1 then [ { spec with domains = 1 } ] else [])
+    @ (if spec.gpu then [ { spec with gpu = false } ] else [])
+    @
+    let shrunk_grid = Array.map (fun g -> max 1 (g / 2)) spec.grid in
+    if shrunk_grid <> spec.grid then [ { spec with grid = shrunk_grid } ] else []
+  in
+  let tdns =
+    let all_rep = List.map (fun (n, _) -> (n, Spec.T_rep)) spec.tdns in
+    (if List.exists (fun (_, t) -> t <> Spec.T_rep) spec.tdns then
+       [ { spec with tdns = all_rep } ]
+     else [])
+    @ List.filter_map
+        (fun (n, t) ->
+          if t = Spec.T_rep then None
+          else
+            Some
+              {
+                spec with
+                tdns =
+                  List.map
+                    (fun (n', t') -> if n' = n then (n', Spec.T_rep) else (n', t'))
+                    spec.tdns;
+              })
+        spec.tdns
+  in
+  let formats =
+    (* canonical CSR/CSF driver; only when the output does not share the
+       driver's pattern levels in a way the canonical formats would change *)
+    let order = List.length spec.driver_vars in
+    let canonical, mode =
+      if order = 2 then ([| Level.Dense_k; Level.Compressed_k |], [| 0; 1 |])
+      else
+        ( [| Level.Dense_k; Level.Compressed_k; Level.Compressed_k |],
+          [| 0; 1; 2 |] )
+    in
+    if spec.driver_kinds <> canonical || spec.driver_mode <> mode then
+      [ { spec with driver_kinds = canonical; driver_mode = mode } ]
+    else []
+  in
+  let data =
+    List.concat_map
+      (fun (v, d) ->
+        if d > 1 then
+          [
+            {
+              spec with
+              vars =
+                List.map
+                  (fun (v', d') -> if v' = v then (v', (d' + 1) / 2) else (v', d'))
+                  spec.vars;
+            };
+          ]
+        else [])
+      spec.vars
+    @
+    if spec.density > 0.06 then
+      [ { spec with density = spec.density /. 2. } ]
+    else []
+  in
+  structural @ sched @ environment @ tdns @ formats @ data
+
+let minimize ?(max_steps = 300) ~still_fails spec =
+  let steps = ref 0 in
+  let rec go spec =
+    if !steps >= max_steps then spec
+    else
+      match
+        List.find_opt
+          (fun c ->
+            incr steps;
+            !steps <= max_steps && still_fails c)
+          (candidates spec)
+      with
+      | Some smaller -> go smaller
+      | None -> spec
+  in
+  go spec
+
+let reproducer ~original ~shrunk (failure : Check.failure) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "property violated: %s\n%s\n\n" failure.Check.prop
+       failure.Check.detail);
+  Buffer.add_string b
+    (Printf.sprintf "original spec:\n  %s\n" (Spec.to_string original));
+  Buffer.add_string b
+    (Printf.sprintf "shrunk spec:\n  %s\n\n" (Spec.to_string shrunk));
+  Buffer.add_string b
+    (Printf.sprintf "replay:\n  spdistal fuzz --replay '%s'\n\n"
+       (Spec.to_string shrunk));
+  Buffer.add_string b "OCaml reproducer:\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  let spec = Spdistal_fuzz.Spec.of_string_exn\n\
+       \    %S in\n\
+       \  match Spdistal_fuzz.Check.run spec with\n\
+       \  | Spdistal_fuzz.Check.Pass -> print_endline \"fixed\"\n\
+       \  | v -> print_endline (Spdistal_fuzz.Check.verdict_to_string v)\n"
+       (Spec.to_string shrunk));
+  Buffer.contents b

@@ -1,0 +1,19 @@
+(** Greedy minimization of failing fuzz cases.
+
+    Proposes progressively simpler well-formed specs (drop operands,
+    simplify the schedule, neutralize TDNs, canonicalize formats, shrink
+    dimensions and densities) and keeps the first candidate that still
+    fails, to a fixpoint. *)
+
+(** Simpler variants of a spec, in priority order; every candidate is
+    well-formed. *)
+val candidates : Spec.t -> Spec.t list
+
+(** [minimize ?max_steps ~still_fails spec] — greedy first-improvement
+    descent; [still_fails] is consulted at most [max_steps] (default 300)
+    times. *)
+val minimize : ?max_steps:int -> still_fails:(Spec.t -> bool) -> Spec.t -> Spec.t
+
+(** Human-readable report: the violated property, both spec lines, a CLI
+    replay command and a paste-able OCaml snippet. *)
+val reproducer : original:Spec.t -> shrunk:Spec.t -> Check.failure -> string

@@ -1,0 +1,55 @@
+(* Bit-exact snapshots of a problem's operand storage and of a Cost record,
+   used to assert PR-1/PR-2 invariants: outputs and costs are bit-identical
+   across simulation degrees and under fault injection. *)
+
+open Spdistal_runtime
+open Spdistal_formats
+open Spdistal_exec
+open Core
+
+type level_snap = D of int | C of (int * int) array * int array | S of int array
+
+type data_snap =
+  | Dense of int64 array
+  | Sparse of int array * level_snap array * int64 array
+
+type t =
+  | Outputs of (string * data_snap) list
+  | Cost_sig of (int64 * int64 * int64 * int64 * int64 * int * int * int64)
+
+let bits = Array.map Int64.bits_of_float
+
+let snap_data = function
+  | Operand.Vec v -> Dense (bits v.Dense.data)
+  | Operand.Mat m -> Dense (bits m.Dense.data)
+  | Operand.Sparse t ->
+      Sparse
+        ( t.Tensor.dims,
+          Array.map
+            (function
+              | Level.Dense { dim } -> D dim
+              | Level.Compressed { pos; crd } ->
+                  C (Array.copy pos.Region.data, Array.copy crd.Region.data)
+              | Level.Singleton { crd } -> S (Array.copy crd.Region.data))
+            t.Tensor.levels,
+          bits t.Tensor.vals.Region.data )
+
+let outputs p =
+  Outputs
+    (List.map
+       (fun (name, _, _) ->
+         (name, snap_data (Operand.find (Spdistal.bindings p) name).Operand.data))
+       p.Spdistal.operands)
+
+let cost (c : Cost.t) =
+  Cost_sig
+    ( Int64.bits_of_float c.Cost.total,
+      Int64.bits_of_float c.Cost.compute,
+      Int64.bits_of_float c.Cost.comm,
+      Int64.bits_of_float c.Cost.overhead,
+      Int64.bits_of_float c.Cost.bytes_moved,
+      c.Cost.messages,
+      c.Cost.launches,
+      Int64.bits_of_float c.Cost.flops )
+
+let equal (a : t) (b : t) = a = b

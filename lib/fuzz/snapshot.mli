@@ -1,0 +1,19 @@
+(** Bit-exact snapshots of problem operands and costs.
+
+    Every dense payload and sparse level region is captured via
+    [Int64.bits_of_float] / array copies, so {!equal} is bit-for-bit
+    equality — the currency of the determinism, domain-invariance and
+    fault-invariance properties. *)
+
+open Spdistal_runtime
+
+type t
+
+(** Snapshot every operand of the problem (post-run: call after
+    [Spdistal.run]). *)
+val outputs : Core.Spdistal.problem -> t
+
+(** Snapshot all fields of a cost record. *)
+val cost : Cost.t -> t
+
+val equal : t -> t -> bool

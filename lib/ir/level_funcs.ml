@@ -31,13 +31,39 @@ let finalize_universe_partition ctx ~coloring =
         up = p;
         down = p;
       }
-  | Level.Dense_k ->
+  | Level.Dense_k when ctx.level = 0 ->
       (* P = partitionByBounds(C, dom); same partition flows up and down. *)
       let p = part_name ctx "Part" in
       {
         stmts =
           [ Def_partition { pname = p; expr = By_bounds { target = Dom_r (ctx.tensor, ctx.level); coloring } } ];
         up = p;
+        down = p;
+      }
+  | Level.Dense_k ->
+      (* Below a parent level, the dense level's position space is
+         [parent * dim + coordinate]: the coordinate bounds select a slice of
+         every parent's block, not a prefix of the position space (the prefix
+         version silently dropped all but the first parent's positions —
+         found by the fuzzer).  Upward, every parent keeps some coordinate of
+         each block, which is exactly the unscaled strided partition. *)
+      let p = part_name ctx "Part" in
+      let pup = part_name ctx "ParentPart" in
+      let dim = Dim_of_level (ctx.tensor, ctx.level) in
+      {
+        stmts =
+          [
+            Def_partition
+              {
+                pname = p;
+                expr =
+                  By_bounds_strided
+                    { target = Dom_r (ctx.tensor, ctx.level); coloring; dim };
+              };
+            Def_partition
+              { pname = pup; expr = Unscale_dense { part = p; dim } };
+          ];
+        up = pup;
         down = p;
       }
   | Level.Compressed_k | Level.Compressed_nonunique_k ->
@@ -85,12 +111,30 @@ let finalize_non_zero_partition ctx ~coloring =
         up = p;
         down = p;
       }
-  | Level.Dense_k ->
+  | Level.Dense_k when ctx.level = 0 ->
       let p = part_name ctx "Part" in
       {
         stmts =
           [ Def_partition { pname = p; expr = By_bounds { target = Dom_r (ctx.tensor, ctx.level); coloring } } ];
         up = p;
+        down = p;
+      }
+  | Level.Dense_k ->
+      (* Non-zero bounds are position bounds, so the downward partition is a
+         plain prefix split; the upward parent partition is its unscaling
+         (the parent position of dense position [p] is [p / dim]). *)
+      let p = part_name ctx "Part" in
+      let pup = part_name ctx "ParentPart" in
+      let dim = Dim_of_level (ctx.tensor, ctx.level) in
+      {
+        stmts =
+          [
+            Def_partition
+              { pname = p; expr = By_bounds { target = Dom_r (ctx.tensor, ctx.level); coloring } };
+            Def_partition
+              { pname = pup; expr = Unscale_dense { part = p; dim } };
+          ];
+        up = pup;
         down = p;
       }
   | Level.Compressed_k | Level.Compressed_nonunique_k ->

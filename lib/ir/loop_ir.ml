@@ -22,6 +22,7 @@ type rref =
 type pexpr =
   | By_bounds of { target : rref; coloring : string }
   | By_value_ranges of { target : rref; coloring : string }
+  | By_bounds_strided of { target : rref; coloring : string; dim : dim_expr }
   | Image_range of { pos : rref; part : string; target : rref }
   | Preimage_range of { pos : rref; part : string }
   | Image_values of { crd : rref; part : string; target : rref }

@@ -38,6 +38,9 @@ type rref =
 type pexpr =
   | By_bounds of { target : rref; coloring : string }
   | By_value_ranges of { target : rref; coloring : string }
+  | By_bounds_strided of { target : rref; coloring : string; dim : dim_expr }
+      (** per-color coordinate bounds applied within every [dim]-sized block
+          of the target position space (a dense level below a sparse parent) *)
   | Image_range of { pos : rref; part : string; target : rref }
   | Preimage_range of { pos : rref; part : string }
   | Image_values of { crd : rref; part : string; target : rref }

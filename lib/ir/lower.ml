@@ -53,13 +53,21 @@ let order_of op =
 let ctx_of env tname k =
   { Level_funcs.tensor = tname; level = k; kind = level_kind (find_operand env tname) k }
 
+(* Debug-only fault injection for the fuzzer's acceptance test: when set,
+   every block loses its last element, silently corrupting any distributed
+   computation.  `spdistal fuzz --inject-bug` must catch and shrink this. *)
+let flip_block_bound = ref false
+let set_debug_flip_block_bound b = flip_block_bound := b
+let debug_flip_block_bound () = !flip_block_bound
+
 (* Block bounds for color [cvar] of [count] pieces over extent [d]:
    lo = cvar*d/count, hi = (cvar+1)*d/count - 1 (exact cover, remainder
    spread). *)
 let block_bounds ~cvar ~count d =
   let c = Color_var cvar in
+  let slack = if !flip_block_bound then 2 else 1 in
   let lo = Div (Mul (c, Dim d), Int count) in
-  let hi = Sub (Div (Mul (Add (c, Int 1), Dim d), Int count), Int 1) in
+  let hi = Sub (Div (Mul (Add (c, Int 1), Dim d), Int count), Int slack) in
   (lo, hi)
 
 (* Result of partitioning one tensor's full coordinate tree. *)
@@ -242,8 +250,40 @@ let comm_for_dense_operand env ~driver ~driver_acc ~driver_tp ~strategy ~colorin
 (* Does an access mention any of the given variables? *)
 let mentions acc vars = List.exists (fun v -> var_pos acc v <> None) vars
 
+(* The leaf kernels execute exactly two statement shapes: a single product
+   with one sparse operand (dense factors and literal coefficients allowed),
+   or a pure sum of sparse accesses (the merge kernel).  Anything else used
+   to fall through to the product path and run silently wrong — surfaced by
+   the fuzzer; reject it here. *)
+let check_fragment env stmt =
+  let rec terms = function Tin.Add (a, b) -> terms a @ terms b | e -> [ e ] in
+  let rec atoms = function Tin.Mul (a, b) -> atoms a @ atoms b | e -> [ e ] in
+  match terms stmt.Tin.rhs with
+  | [ t ] ->
+      let sparse =
+        List.filter
+          (function
+            | Tin.Access a -> is_sparse env a.Tin.tensor
+            | Tin.Add _ ->
+                invalid_arg "Lower: sums nested inside a product are unsupported"
+            | Tin.Mul _ | Tin.Lit _ -> false)
+          (atoms t)
+      in
+      if List.length sparse <> 1 then
+        invalid_arg "Lower: products need exactly one sparse operand"
+  | ts ->
+      List.iter
+        (function
+          | Tin.Access a when is_sparse env a.Tin.tensor -> ()
+          | _ ->
+              invalid_arg
+                "Lower: additive statements must be pure sums of sparse \
+                 accesses")
+        ts
+
 let lower ~env ~grid stmt sched =
   Tin.validate ~order_of:(fun n -> order_of (find_operand env n)) stmt;
+  check_fragment env stmt;
   let plan = Schedule.analyze stmt sched in
   let pieces = Array.fold_left ( * ) 1 grid in
   let primary_count = if Array.length grid >= 2 then grid.(0) else pieces in
@@ -263,6 +303,17 @@ let lower ~env ~grid stmt sched =
      access (e.g. a TDN identity statement) is just a copy driven by that
      operand. *)
   let merge = Tin.is_pure_addition stmt && List.length rhs_sparse > 1 in
+  (* A pattern-preserving sparse output shares the driver's metadata: pieces
+     of a universe distribution over a variable outside the lhs prefix would
+     alias the same output positions (an un-marked reduction).  Reject rather
+     than run wrong. *)
+  (match plan.Schedule.strategy with
+  | Schedule.Universe_dist { var = v }
+    when out_sparse && (not merge) && not (List.mem v out.Tin.indices) ->
+      invalid_arg
+        "Lower: universe distribution over a reduction variable is \
+         unsupported with a sparse output"
+  | _ -> ());
   let stmts = ref [] and comms = ref [] in
   let emit sts = stmts := !stmts @ sts in
   let add_comm c = comms := !comms @ [ c ] in

@@ -27,9 +27,22 @@ type env = (string * operand) list
 
 (** [lower ~env ~grid stmt schedule] produces the partitioning-and-compute
     program.  Raises [Invalid_argument] on statements/schedules outside the
-    supported fragment (multiple sparse operands in a product, more than two
-    distributed loops, distributing a non-root dense variable). *)
+    supported fragment: the rhs must be a single product with exactly one
+    sparse operand (dense factors and literal coefficients allowed) or a pure
+    sum of sparse accesses (merge); at most two distributed loops; no
+    distributing a non-root dense variable; no universe distribution over a
+    reduction variable when the output is sparse. *)
 val lower : env:env -> grid:int array -> Tin.stmt -> Schedule.t -> Loop_ir.prog
+
+(** {1 Debug fault injection}
+
+    Test-only: when set, {!lower} emits block bounds that drop the last
+    element of every block, silently corrupting any distributed run.  Used by
+    [spdistal fuzz --inject-bug] to prove the differential harness catches
+    and shrinks a planted compiler bug.  Never set outside tests. *)
+
+val set_debug_flip_block_bound : bool -> unit
+val debug_flip_block_bound : unit -> bool
 
 (** [placement_of_tdn ~env ~grid ~tensor ~order tdn] lowers the §V-C
     identity statement of a TDN declaration, yielding the partitioning

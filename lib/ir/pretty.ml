@@ -34,6 +34,9 @@ let pp_pexpr fmt = function
       Format.fprintf fmt "partitionByBounds(%s, %a)" coloring pp_rref target
   | By_value_ranges { target; coloring } ->
       Format.fprintf fmt "partitionByValueRanges(%s, %a)" coloring pp_rref target
+  | By_bounds_strided { target; coloring; dim } ->
+      Format.fprintf fmt "partitionByBounds(%s, %a) /* per %a block */" coloring
+        pp_rref target pp_dim dim
   | Image_range { pos; part; target } ->
       Format.fprintf fmt "image(%a, %s, %a)" pp_rref pos part pp_rref target
   | Preimage_range { pos; part } ->

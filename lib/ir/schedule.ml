@@ -132,3 +132,120 @@ let pp fmt t =
       Format.fprintf fmt ".%a" pp_cmd c)
     t;
   Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Parser for the rendered command chain (the inverse of [pp]); [divide]'s
+   trailing machine-size placeholder "M" is accepted and discarded. *)
+let of_string str =
+  let n = String.length str in
+  let pos = ref 0 in
+  let exception Fail of string in
+  let fail msg = raise (Fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip () =
+    while
+      !pos < n
+      &&
+      let c = str.[!pos] in
+      c = ' ' || c = '\t' || c = '\n' || c = '\r'
+    do
+      incr pos
+    done
+  in
+  let peek () =
+    skip ();
+    if !pos < n then Some str.[!pos] else None
+  in
+  let eat c =
+    match peek () with
+    | Some d when d = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let ident () =
+    skip ();
+    let start = !pos in
+    while !pos < n && is_ident str.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected identifier";
+    String.sub str start (!pos - start)
+  in
+  (* Comma-separated identifiers terminated by [close]. *)
+  let idents close =
+    let rec go acc =
+      let v = ident () in
+      match peek () with
+      | Some ',' ->
+          eat ',';
+          go (v :: acc)
+      | _ ->
+          eat close;
+          List.rev (v :: acc)
+    in
+    go []
+  in
+  let braced () =
+    eat '{';
+    idents '}'
+  in
+  let cmd () =
+    (match peek () with Some '.' -> eat '.' | _ -> ());
+    let name = ident () in
+    eat '(';
+    match name with
+    | "divide" -> (
+        match idents ')' with
+        | [ v; outer; inner; _machine ] -> Divide { v; outer; inner }
+        | _ -> fail "divide expects (v, outer, inner, M)")
+    | "split" -> (
+        match idents ')' with
+        | [ v; outer; inner; f ] -> (
+            match int_of_string_opt f with
+            | Some factor -> Split { v; outer; inner; factor }
+            | None -> fail "split factor must be an integer")
+        | _ -> fail "split expects (v, outer, inner, factor)")
+    | "fuse" -> (
+        match idents ')' with
+        | [ f; a; b ] -> Fuse { f; a; b }
+        | _ -> fail "fuse expects (f, a, b)")
+    | "pos" -> (
+        match idents ')' with
+        | [ v; pv; tensor ] -> Pos { v; pv; tensor }
+        | _ -> fail "pos expects (v, pv, tensor)")
+    | "reorder" -> Reorder (idents ')')
+    | "distribute" -> Distribute (idents ')')
+    | "communicate" ->
+        let tensors = braced () in
+        eat ',';
+        let at = ident () in
+        eat ')';
+        Communicate { tensors; at }
+    | "parallelize" -> (
+        match idents ')' with
+        | [ v; "CPUThread" ] -> Parallelize { v; proc = Cpu_thread }
+        | [ v; "GPUThread" ] -> Parallelize { v; proc = Gpu_thread }
+        | _ -> fail "parallelize expects (v, CPUThread|GPUThread)")
+    | "precompute" ->
+        let v = ident () in
+        eat ',';
+        let tensors = braced () in
+        eat ')';
+        Precompute { v; tensors }
+    | other -> fail (Printf.sprintf "unknown command %s" other)
+  in
+  try
+    let cmds = ref [] in
+    while peek () <> None do
+      cmds := cmd () :: !cmds
+    done;
+    Ok (List.rev !cmds)
+  with Fail msg -> Error ("Schedule.of_string: " ^ msg)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error m -> invalid_arg m

@@ -58,3 +58,15 @@ val analyze : Tin.stmt -> t -> plan
 
 val pp_cmd : Format.formatter -> cmd -> unit
 val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Parsing}
+
+    Inverse of {!to_string} (command chains render one [.cmd(...)] per line);
+    [divide]'s machine-size placeholder ["M"] is accepted and discarded.
+    Fuzzer reproducers rely on the round-trip. *)
+
+val of_string : string -> (t, string) result
+
+(** Like {!of_string} but raises [Invalid_argument]. *)
+val of_string_exn : string -> t

@@ -80,6 +80,127 @@ and pp_mul fmt = function
 let pp fmt s = Format.fprintf fmt "%a = %a" pp_access s.lhs pp_expr s.rhs
 let to_string s = Format.asprintf "%a" pp s
 
+(* Recursive-descent parser, the inverse of [pp] ([*] and [+] parse
+   left-associative, matching the builders).  Fuzzer reproducers round-trip
+   statements through this. *)
+let of_string str =
+  let ( + ) = Stdlib.( + ) in
+  let n = String.length str in
+  let pos = ref 0 in
+  let exception Fail of string in
+  let fail msg = raise (Fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip () =
+    while
+      !pos < n
+      &&
+      let c = str.[!pos] in
+      c = ' ' || c = '\t' || c = '\n' || c = '\r'
+    do
+      pos := !pos + 1
+    done
+  in
+  let peek () =
+    skip ();
+    if !pos < n then Some str.[!pos] else None
+  in
+  let eat c =
+    match peek () with
+    | Some d when d = c -> pos := !pos + 1
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let ident () =
+    skip ();
+    let start = !pos in
+    while !pos < n && is_ident str.[!pos] do
+      pos := !pos + 1
+    done;
+    if !pos = start then fail "expected identifier";
+    String.sub str start (!pos - start)
+  in
+  let number () =
+    skip ();
+    let start = !pos in
+    if !pos < n && str.[!pos] = '-' then pos := !pos + 1;
+    let digits () =
+      while !pos < n && str.[!pos] >= '0' && str.[!pos] <= '9' do
+        pos := !pos + 1
+      done
+    in
+    digits ();
+    if !pos < n && str.[!pos] = '.' then begin
+      pos := !pos + 1;
+      digits ()
+    end;
+    if !pos < n && (str.[!pos] = 'e' || str.[!pos] = 'E') then begin
+      pos := !pos + 1;
+      if !pos < n && (str.[!pos] = '+' || str.[!pos] = '-') then pos := !pos + 1;
+      digits ()
+    end;
+    match float_of_string_opt (String.sub str start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let access_p () =
+    let tensor = ident () in
+    eat '(';
+    let rec vars acc =
+      let v = ident () in
+      match peek () with
+      | Some ',' ->
+          eat ',';
+          vars (v :: acc)
+      | _ ->
+          eat ')';
+          List.rev (v :: acc)
+    in
+    { tensor; indices = vars [] }
+  in
+  let rec atom () =
+    match peek () with
+    | Some '(' ->
+        eat '(';
+        let e = expr_p () in
+        eat ')';
+        e
+    | Some c when c = '-' || c = '.' || (c >= '0' && c <= '9') -> Lit (number ())
+    | _ -> Access (access_p ())
+  and term () =
+    let rec go acc =
+      match peek () with
+      | Some '*' ->
+          eat '*';
+          go (Mul (acc, atom ()))
+      | _ -> acc
+    in
+    go (atom ())
+  and expr_p () =
+    let rec go acc =
+      match peek () with
+      | Some '+' ->
+          eat '+';
+          go (Add (acc, term ()))
+      | _ -> acc
+    in
+    go (term ())
+  in
+  try
+    let lhs = access_p () in
+    eat '=';
+    let rhs = expr_p () in
+    skip ();
+    if !pos <> n then fail "trailing input";
+    Ok { lhs; rhs }
+  with Fail msg -> Error ("Tin.of_string: " ^ msg)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error m -> invalid_arg m
+
 let spmv = assign "a" [ "i" ] (access "B" [ "i"; "j" ] * access "c" [ "j" ])
 
 let spmm =

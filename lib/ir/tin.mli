@@ -45,6 +45,17 @@ val validate : order_of:(string -> int) -> stmt -> unit
 val pp : Format.formatter -> stmt -> unit
 val to_string : stmt -> string
 
+(** {1 Parsing}
+
+    Inverse of {!to_string}: [*] and [+] parse left-associative, matching the
+    builders, so statements built with the operators round-trip exactly.
+    Fuzzer reproducers rely on this. *)
+
+val of_string : string -> (stmt, string) result
+
+(** Like {!of_string} but raises [Invalid_argument]. *)
+val of_string_exn : string -> stmt
+
 (** {1 The paper's evaluation kernels (§VI-A)} *)
 
 val spmv : stmt (* a(i) = B(i,j) * c(j) *)

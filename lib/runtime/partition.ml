@@ -70,6 +70,23 @@ let by_bounds ?(axis = Flat) is bounds =
   in
   { parent = is; subsets; disjoint = compute_disjoint subsets; axis }
 
+let by_bounds_strided ?(axis = Flat) is ~dim bounds =
+  if dim <= 0 then Error.fail Error.Partition_eval "by_bounds_strided: dim %d" dim;
+  let last = if Iset.is_empty is then -1 else Iset.max_elt is in
+  let subsets =
+    Array.map
+      (fun (lo, hi) ->
+        let ivs = ref [] in
+        let base = ref 0 in
+        while !base <= last do
+          ivs := (!base + lo, !base + hi) :: !ivs;
+          base := !base + dim
+        done;
+        Iset.inter is (Iset.of_intervals !ivs))
+      bounds
+  in
+  { parent = is; subsets; disjoint = compute_disjoint subsets; axis }
+
 let by_value_ranges ?(axis = Flat) ~values is ranges =
   let buckets = Array.map (fun _ -> ref []) ranges in
   Iset.iter

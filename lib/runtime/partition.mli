@@ -45,6 +45,13 @@ val equal_cardinality : ?axis:axis -> Iset.t -> int -> t
     bounds — the [partitionByBounds] operation of Table I. *)
 val by_bounds : ?axis:axis -> Iset.t -> (int * int) array -> t
 
+(** [by_bounds_strided is ~dim bounds] partitions a position space built of
+    consecutive blocks of [dim] positions (a dense level under a sparse
+    parent: position = parent * dim + coordinate): color [c] takes offsets
+    [bounds.(c)] {e within every block}.  With one block it coincides with
+    {!by_bounds}. *)
+val by_bounds_strided : ?axis:axis -> Iset.t -> dim:int -> (int * int) array -> t
+
 (** [by_value_ranges ~values is ranges] colors index [i] of [is] with color
     [c] iff [values.(i)] falls in [ranges.(c)] — the [partitionByValueRanges]
     operation of Table I, used to bucket [crd] arrays by coordinate value. *)

@@ -87,3 +87,24 @@ let contains haystack needle =
   n = 0 || go 0
 let qtest ?(count = 200) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* --- Problem-level scaffolding ------------------------------------------
+   Shared by the exec / interp / parallel / fault / fuzz suites, which each
+   used to carry private copies. *)
+
+let cpu_machine pieces =
+  Core.Spdistal.machine ~kind:Spdistal_runtime.Machine.Cpu [| pieces |]
+
+let gpu_machine grid = Core.Spdistal.machine ~kind:Spdistal_runtime.Machine.Gpu grid
+
+(* Run a problem and fail the test on any did-not-complete outcome. *)
+let run_ok problem =
+  let res = Core.Spdistal.run problem in
+  match res.Core.Spdistal.dnc with
+  | Some r -> Alcotest.fail r
+  | None -> res.Core.Spdistal.cost
+
+(* Bit-exact signatures of a problem's operand storage and of a cost record,
+   shared with the fuzzer's invariant checks. *)
+let snapshot = Spdistal_fuzz.Snapshot.outputs
+let cost_sig = Spdistal_fuzz.Snapshot.cost

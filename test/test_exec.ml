@@ -146,7 +146,7 @@ let run_problem problem =
            problem.Core.Spdistal.stmt);
       Cost.total res.Core.Spdistal.cost
 
-let machine pieces = Core.Spdistal.machine ~kind:Machine.Cpu [| pieces |]
+let machine = Helpers.cpu_machine
 
 let test_all_kernels_all_pieces () =
   let b = Helpers.rand_csr ~seed:21 12 14 0.25 in

@@ -206,13 +206,13 @@ let problems () =
   ]
 
 (* Baseline and faulty runs of one freshly-built problem each; returns
-   (dnc, cost, outputs) per run.  Outputs via Test_parallel.snapshot. *)
+   (dnc, cost, outputs) per run.  Outputs via Helpers.snapshot. *)
 let run_pair ?domains ~faults make =
   let base_p = make () in
   let base = Spdistal.run ?domains ~faults:Fault.disabled base_p in
   let fault_p = make () in
   let faulty = Spdistal.run ?domains ~faults fault_p in
-  ((base, Test_parallel.snapshot base_p), (faulty, Test_parallel.snapshot fault_p))
+  ((base, Helpers.snapshot base_p), (faulty, Helpers.snapshot fault_p))
 
 let acceptance_cfg = Fault.make ~seed:7 ~rate:0.1 ()
 
@@ -254,20 +254,20 @@ let test_rate_zero_invariance () =
       Alcotest.(check bool)
         (name ^ ": cost fields unchanged at rate 0")
         true
-        (Test_parallel.cost_sig r0.Spdistal.cost
-        = Test_parallel.cost_sig r1.Spdistal.cost);
+        (Helpers.cost_sig r0.Spdistal.cost
+        = Helpers.cost_sig r1.Spdistal.cost);
       Alcotest.(check (float 0.)) (name ^ ": no recovery") 0.
         r1.Spdistal.cost.Cost.recovery;
       Alcotest.(check int) (name ^ ": no faults") 0 r1.Spdistal.cost.Cost.faults;
       Alcotest.(check bool)
         (name ^ ": outputs unchanged")
         true
-        (Test_parallel.snapshot p0 = Test_parallel.snapshot p1))
+        (Helpers.snapshot p0 = Helpers.snapshot p1))
     (problems ())
 
 (* Fault cost fields, for cross-domain comparison. *)
 let fault_sig (c : Cost.t) =
-  ( Test_parallel.cost_sig c,
+  ( Helpers.cost_sig c,
     Int64.bits_of_float c.Cost.recovery,
     c.Cost.retries,
     Int64.bits_of_float c.Cost.resent_bytes,

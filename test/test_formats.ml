@@ -102,6 +102,56 @@ let prop_roundtrip_csc =
       let t = Tensor.csc ~name:"B" coo in
       Coo.equal coo (Tensor.to_coo t))
 
+(* Every supported matrix format, not just CSR/CSC.  Equality is on the
+   non-zero multiset ([drop_zeros]): all-dense level combinations surface
+   structural zeros as explicit entries, which are not part of the logical
+   tensor.  Singleton only appears under a non-unique parent — elsewhere
+   duplicate coordinates would collide on a shared parent position. *)
+let matrix_formats =
+  [
+    ("dd", [| Level.Dense_k; Level.Dense_k |], [| 0; 1 |]);
+    ("dc", [| Level.Dense_k; Level.Compressed_k |], [| 0; 1 |]);
+    ("dc-csc", [| Level.Dense_k; Level.Compressed_k |], [| 1; 0 |]);
+    ("cd", [| Level.Compressed_k; Level.Dense_k |], [| 0; 1 |]);
+    ("cc", [| Level.Compressed_k; Level.Compressed_k |], [| 0; 1 |]);
+    ("nc", [| Level.Compressed_nonunique_k; Level.Compressed_k |], [| 0; 1 |]);
+    ("ns", [| Level.Compressed_nonunique_k; Level.Singleton_k |], [| 0; 1 |]);
+    ("nn", [| Level.Compressed_nonunique_k; Level.Compressed_nonunique_k |], [| 0; 1 |]);
+  ]
+
+let nonzeros coo = Coo.to_alist (Coo.sort_dedup ~drop_zeros:true coo)
+
+let roundtrips_all_formats coo =
+  List.for_all
+    (fun (name, formats, mode_order) ->
+      let t = Tensor.of_coo ~name ~formats ~mode_order coo in
+      nonzeros coo = nonzeros (Tensor.to_coo t))
+    matrix_formats
+
+let prop_roundtrip_all_formats =
+  Helpers.qtest "COO -> every format -> COO preserves the nnz multiset"
+    Helpers.arb_coo_matrix roundtrips_all_formats
+
+let test_roundtrip_edge_inputs () =
+  (* The empty tensor (the phantom-Singleton-position regression the fuzzer
+     found) and duplicate coordinates (summed on construction). *)
+  let empty = Coo.make [| 3; 4 |] [] in
+  Alcotest.(check bool) "empty roundtrips" true (roundtrips_all_formats empty);
+  List.iter
+    (fun (name, formats, mode_order) ->
+      let t = Tensor.of_coo ~name ~formats ~mode_order empty in
+      Alcotest.(check int) ("empty " ^ name ^ " stores nothing") 0
+        (List.length (nonzeros (Tensor.to_coo t))))
+    matrix_formats;
+  let dups =
+    Coo.make [| 3; 4 |]
+      [ ([| 1; 2 |], 2.); ([| 1; 2 |], 3.); ([| 0; 0 |], 1.); ([| 1; 2 |], 4. ) ]
+  in
+  Alcotest.(check bool) "duplicates roundtrip" true (roundtrips_all_formats dups);
+  let t = Tensor.csr ~name:"B" dups in
+  Helpers.check_float "duplicates summed" 9. (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check int) "two stored entries" 2 (Tensor.nnz t)
+
 let prop_csr_csc_agree =
   Helpers.qtest "CSR and CSC agree pointwise" Helpers.arb_coo_matrix (fun coo ->
       let a = Tensor.csr ~name:"B" coo and b = Tensor.csc ~name:"B" coo in
@@ -214,6 +264,8 @@ let suite =
     Alcotest.test_case "iter matches get" `Quick test_iter_matches_get;
     prop_roundtrip_csr;
     prop_roundtrip_csc;
+    prop_roundtrip_all_formats;
+    Alcotest.test_case "roundtrip edge inputs" `Quick test_roundtrip_edge_inputs;
     prop_csr_csc_agree;
     prop_leaf_parent;
     Alcotest.test_case "transpose" `Quick test_convert_transpose;

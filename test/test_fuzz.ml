@@ -1,0 +1,91 @@
+(* Tier-1 entry for the differential fuzzer: a small fixed budget that must
+   stay green and deterministic, the injected-bug canary (the harness must
+   still be able to catch and shrink a real miscompile), and replay of the
+   frozen regression corpus. *)
+
+open Spdistal_fuzz
+
+(* Keep the tier-1 budget small and the cases cheap. *)
+let params = { Gen.default_params with Gen.max_dim = 6 }
+
+let test_gen_deterministic () =
+  for i = 0 to 24 do
+    let a = Gen.case ~params ~seed:5 i and b = Gen.case ~params ~seed:5 i in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d stable" i)
+      (Spec.to_string a) (Spec.to_string b)
+  done;
+  let distinct =
+    List.sort_uniq compare
+      (List.init 25 (fun i -> Spec.to_string (Gen.case ~params ~seed:5 i)))
+  in
+  Alcotest.(check bool) "cases vary with index" true (List.length distinct > 20)
+
+(* Spec lines are the corpus interchange format: parsing must invert
+   printing exactly, including the float fields (density, literal
+   coefficients, fault rates). *)
+let arb_spec =
+  let g =
+    QCheck.Gen.map
+      (fun (seed, i) -> Gen.case ~params ~seed i)
+      (QCheck.Gen.pair (QCheck.Gen.int_range 0 100_000) (QCheck.Gen.int_range 0 500))
+  in
+  QCheck.make ~print:Spec.to_string g
+
+let prop_spec_roundtrip =
+  Helpers.qtest ~count:300 "spec line printing/parsing roundtrip" arb_spec
+    (fun s -> Spec.equal (Spec.of_string_exn (Spec.to_string s)) s)
+
+let test_clean_campaign () =
+  let r = Campaign.run ~params ~seed:42 ~count:60 () in
+  Alcotest.(check int) "all cases ran" 60 r.Campaign.total;
+  (match r.Campaign.failure with
+  | None -> ()
+  | Some f -> Alcotest.fail ("unexpected failure:\n" ^ f.Campaign.text));
+  Alcotest.(check int) "no rejected cases" 0 r.Campaign.rejected
+
+let test_injected_bug_caught_and_shrunk () =
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Spdistal_ir.Lower.set_debug_flip_block_bound false)
+      (fun () ->
+        Spdistal_ir.Lower.set_debug_flip_block_bound true;
+        Campaign.run ~params ~seed:42 ~count:50 ())
+  in
+  match r.Campaign.failure with
+  | None -> Alcotest.fail "flipped block bound survived 50 cases"
+  | Some f ->
+      Alcotest.(check bool)
+        "shrunk to at most two operands" true
+        (Spec.operand_count f.Campaign.shrunk <= 2);
+      Alcotest.(check bool)
+        "reproducer quotes both specs" true
+        (Helpers.contains f.Campaign.text (Spec.to_string f.Campaign.shrunk));
+      (* With the bug gone the minimized case must pass again — otherwise
+         the shrinker wandered onto an unrelated failure. *)
+      (match Check.run f.Campaign.shrunk with
+      | Check.Pass -> ()
+      | v ->
+          Alcotest.fail
+            ("shrunk case still fails with the bug off: "
+            ^ Check.verdict_to_string v))
+
+let test_corpus_replay () =
+  let results = Campaign.replay_corpus ~dir:"corpus" in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length results >= 10);
+  List.iter
+    (fun (loc, v) ->
+      match v with
+      | Check.Pass -> ()
+      | v -> Alcotest.fail (loc ^ ": " ^ Check.verdict_to_string v))
+    results
+
+let suite =
+  [
+    Alcotest.test_case "generator is deterministic" `Quick test_gen_deterministic;
+    prop_spec_roundtrip;
+    Alcotest.test_case "clean campaign (seed 42)" `Slow test_clean_campaign;
+    Alcotest.test_case "injected bug caught and shrunk" `Slow
+      test_injected_bug_caught_and_shrunk;
+    Alcotest.test_case "regression corpus replays" `Slow test_corpus_replay;
+  ]

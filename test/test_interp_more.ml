@@ -6,13 +6,9 @@ open Spdistal_formats
 open Spdistal_ir
 open Spdistal_exec
 
-let cpu pieces = Core.Spdistal.machine ~kind:Machine.Cpu [| pieces |]
+let cpu = Helpers.cpu_machine
 
-let run_ok problem =
-  let res = Core.Spdistal.run problem in
-  match res.Core.Spdistal.dnc with
-  | Some r -> Alcotest.fail r
-  | None -> res.Core.Spdistal.cost
+let run_ok = Helpers.run_ok
 
 let test_flops_counted () =
   let b = Helpers.rand_csr ~seed:61 20 20 0.3 in

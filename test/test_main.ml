@@ -22,6 +22,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
       ("props", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
       ("placement", Test_placement.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);

@@ -92,46 +92,14 @@ let test_batched_spmm_2x2 () =
 (* Determinism: parallel simulation is bit-identical to sequential     *)
 (* ------------------------------------------------------------------ *)
 
-let bits = Array.map Int64.bits_of_float
-
-let snap_data = function
-  | Operand.Vec v -> `Dense (bits v.Dense.data)
-  | Operand.Mat m -> `Dense (bits m.Dense.data)
-  | Operand.Sparse t ->
-      `Sparse
-        ( t.Tensor.dims,
-          Array.map
-            (function
-              | Level.Dense { dim } -> `D dim
-              | Level.Compressed { pos; crd } ->
-                  `C (Array.copy pos.Region.data, Array.copy crd.Region.data)
-              | Level.Singleton { crd } -> `S (Array.copy crd.Region.data))
-            t.Tensor.levels,
-          bits t.Tensor.vals.Region.data )
-
-let snapshot p =
-  List.map
-    (fun (name, _, _) ->
-      (name, snap_data (Operand.find (Spdistal.bindings p) name).Operand.data))
-    p.Spdistal.operands
-
-let cost_sig (c : Cost.t) =
-  ( Int64.bits_of_float c.Cost.total,
-    Int64.bits_of_float c.Cost.compute,
-    Int64.bits_of_float c.Cost.comm,
-    Int64.bits_of_float c.Cost.overhead,
-    Int64.bits_of_float c.Cost.bytes_moved,
-    c.Cost.messages,
-    c.Cost.launches,
-    Int64.bits_of_float c.Cost.flops )
-
 (* Run the same freshly-built problem at both degrees and require every Cost
-   field and every operand's storage to match bit for bit. *)
+   field and every operand's storage to match bit for bit.  Signatures come
+   from Helpers.snapshot / Helpers.cost_sig (shared with the fuzzer). *)
 let check_deterministic name make =
   let run_with domains =
     let p = make () in
     let r = Spdistal.run ~domains p in
-    (r.Spdistal.dnc, cost_sig r.Spdistal.cost, snapshot p)
+    (r.Spdistal.dnc, Helpers.cost_sig r.Spdistal.cost, Helpers.snapshot p)
   in
   let dnc1, cost1, out1 = run_with 1 in
   let dnc4, cost4, out4 = run_with 4 in
@@ -140,7 +108,7 @@ let check_deterministic name make =
   Alcotest.(check bool) (name ^ ": outputs bit-identical") true (out1 = out4)
 
 let test_determinism_fig10 () =
-  let cpu n = Spdistal.machine ~kind:Machine.Cpu [| n |] in
+  let cpu = Helpers.cpu_machine in
   let matrix = Helpers.rand_csr ~seed:41 80 80 0.06 in
   let tensor = Helpers.rand_csf ~seed:42 24 20 16 0.02 in
   check_deterministic "spmv" (fun () ->
@@ -159,7 +127,7 @@ let test_determinism_fig10 () =
 let test_determinism_reductions () =
   (* nnz-split schedules take the deferred-leaf path (overlapping output
      writes reduce on the reducing domain). *)
-  let cpu n = Spdistal.machine ~kind:Machine.Cpu [| n |] in
+  let cpu = Helpers.cpu_machine in
   let matrix = Helpers.rand_csr ~seed:43 80 80 0.06 in
   let tensor = Helpers.rand_csf ~seed:44 24 20 16 0.02 in
   check_deterministic "spmv-nnz" (fun () ->
@@ -170,7 +138,7 @@ let test_determinism_reductions () =
       Kernels.mttkrp_problem ~machine:(cpu 8) ~cols:8 ~nonzero_dist:true tensor)
 
 let test_determinism_batched () =
-  let machine = Spdistal.machine ~kind:Machine.Gpu [| 2; 2 |] in
+  let machine = Helpers.gpu_machine [| 2; 2 |] in
   let matrix = Helpers.rand_csr ~seed:45 40 40 0.08 in
   check_deterministic "spmm-batched-2x2" (fun () ->
       Kernels.spmm_problem ~machine ~cols:8 ~batched:true matrix)

@@ -77,6 +77,84 @@ let test_schedule_rendering () =
       ".distribute(fpo)"; ".communicate({a, B, c}, fpo)";
       ".parallelize(fpi, CPUThread)" ]
 
+(* --- Sub-language round-trips -------------------------------------------
+   TIN statements and schedules print to a textual form the fuzzer replays
+   through [of_string]; parsing must invert printing on every stock kernel,
+   and the printed forms themselves are pinned as goldens. *)
+
+let all_stmts =
+  [
+    ("spmv", Tin.spmv);
+    ("spmm", Tin.spmm);
+    ("spadd3", Tin.spadd3);
+    ("sddmm", Tin.sddmm);
+    ("spttv", Tin.spttv);
+    ("mttkrp", Tin.spmttkrp);
+  ]
+
+let test_tin_roundtrip () =
+  List.iter
+    (fun (name, s) ->
+      let txt = Tin.to_string s in
+      Alcotest.(check bool)
+        (name ^ " reparses to the same AST")
+        true
+        (Tin.of_string_exn txt = s);
+      Alcotest.(check string)
+        (name ^ " reprints identically")
+        txt
+        (Tin.to_string (Tin.of_string_exn txt)))
+    all_stmts
+
+let test_tin_golden () =
+  Alcotest.(check string) "spmv" "a(i) = B(i,j) * c(j)" (Tin.to_string Tin.spmv);
+  Alcotest.(check string) "sddmm" "A(i,j) = B(i,j) * C(i,k) * D(k,j)"
+    (Tin.to_string Tin.sddmm);
+  Alcotest.(check string) "spadd3" "A(i,j) = B(i,j) + C(i,j) + D(i,j)"
+    (Tin.to_string Tin.spadd3)
+
+let test_tin_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Tin.of_string bad with
+      | Ok _ -> Alcotest.fail ("parsed: " ^ bad)
+      | Error _ -> ())
+    [ ""; "a(i)"; "a(i) ="; "a(i) = B(i,"; "a(i) = B(i,j) *"; "= B(i,j)" ]
+
+let all_schedules =
+  [
+    ("spmv-row", Core.Kernels.spmv_row ());
+    ("spmv-row-gpu", Core.Kernels.spmv_row ~proc:Schedule.Gpu_thread ());
+    ("spmv-nnz", Core.Kernels.spmv_nnz ());
+    ("spadd3-workspace", Core.Kernels.spadd3_workspace ());
+    ("spmm-batched", Core.Kernels.spmm_batched ());
+    ("mttkrp-nnz", Core.Kernels.mttkrp_nnz ());
+  ]
+
+let test_schedule_roundtrip () =
+  List.iter
+    (fun (name, s) ->
+      let txt = Schedule.to_string s in
+      Alcotest.(check bool)
+        (name ^ " reparses to the same schedule")
+        true
+        (Schedule.of_string_exn txt = s);
+      Alcotest.(check string)
+        (name ^ " reprints identically")
+        txt
+        (Schedule.to_string (Schedule.of_string_exn txt)))
+    all_schedules
+
+let test_schedule_golden () =
+  Alcotest.(check string) "spmv row schedule"
+    ".divide(i, io, ii, M)\n.distribute(io)\n.communicate({a, B, c}, io)\n\
+     .parallelize(ii, CPUThread)"
+    (Schedule.to_string (Core.Kernels.spmv_row ()));
+  Alcotest.(check string) "spmm batched schedule"
+    ".divide(i, io, ii, M)\n.divide(j, jo, ji, M)\n.distribute(io, jo)\n\
+     .communicate({A, B, C}, jo)\n.parallelize(ii, CPUThread)"
+    (Schedule.to_string (Core.Kernels.spmm_batched ()))
+
 let suite =
   [
     Alcotest.test_case "row plan renders like Fig 9b" `Quick test_row_plan_shape;
@@ -84,4 +162,9 @@ let suite =
     Alcotest.test_case "aexpr precedence" `Quick test_aexpr_precedence;
     Alcotest.test_case "rref rendering" `Quick test_rref_rendering;
     Alcotest.test_case "schedule rendering" `Quick test_schedule_rendering;
+    Alcotest.test_case "tin roundtrip" `Quick test_tin_roundtrip;
+    Alcotest.test_case "tin golden strings" `Quick test_tin_golden;
+    Alcotest.test_case "tin parse errors" `Quick test_tin_parse_errors;
+    Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+    Alcotest.test_case "schedule golden strings" `Quick test_schedule_golden;
   ]
