@@ -235,10 +235,7 @@ let run_fault_sweep () =
                   f_seed = seed;
                   f_seconds = seconds;
                   f_baseline = base_t;
-                  f_recovery = c.Cost.recovery;
-                  f_retries = c.Cost.retries;
-                  f_resent_bytes = c.Cost.resent_bytes;
-                  f_faults = c.Cost.faults;
+                  f_cost = c;
                   f_identical = identical;
                 })
           rates)
@@ -246,6 +243,53 @@ let run_fault_sweep () =
   in
   let path = Csv.write_faults ~dir:"results" rows in
   Printf.printf "fault sweep written: %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Optional observability export: BENCH_TRACE_DIR=dir runs one traced  *)
+(* cell per fig10 kernel and writes a Perfetto-loadable Chrome trace   *)
+(* plus a per-launch metrics CSV for each.                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace_exports dir =
+  let open Spdistal_runtime in
+  let module K = Core.Kernels in
+  let module S = Core.Spdistal in
+  let module Trace = Spdistal_obs.Trace in
+  let matrix =
+    Synth.power_law ~name:"trace-matrix" ~rows:4_000 ~cols:4_000 ~nnz:80_000
+      ~alpha:1.0 ~seed:93
+  in
+  let tensor =
+    Synth.tensor3_uniform ~name:"trace-tensor" ~dims:[| 500; 400; 200 |]
+      ~nnz:40_000 ~seed:92
+  in
+  let machine = Runner.cpu_machine ~nodes:8 in
+  let problems =
+    [
+      ("spmv", fun () -> K.spmv_problem ~machine matrix);
+      ("spmm", fun () -> K.spmm_problem ~machine ~cols:32 matrix);
+      ("spadd3", fun () -> K.spadd3_problem ~machine matrix);
+      ("sddmm", fun () -> K.sddmm_problem ~machine ~cols:32 matrix);
+      ("spttv", fun () -> K.spttv_problem ~machine tensor);
+      ("mttkrp", fun () -> K.mttkrp_problem ~machine ~cols:32 tensor);
+    ]
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  print_endline "=== Trace export (BENCH_TRACE_DIR) ===";
+  List.iter
+    (fun (name, make) ->
+      let trace = Trace.create () in
+      let r = S.run ~trace (make ()) in
+      let tpath = Filename.concat dir (name ^ ".trace.json") in
+      Spdistal_obs.Chrome_trace.write trace ~path:tpath;
+      let mpath = Filename.concat dir (name ^ ".metrics.csv") in
+      let oc = open_out mpath in
+      output_string oc
+        (Spdistal_obs.Report.to_csv (Spdistal_obs.Report.of_trace trace));
+      close_out oc;
+      Format.printf "  %-8s %a@.    -> %s, %s@." name Cost.pp r.S.cost tpath
+        mpath)
+    problems
 
 (* ------------------------------------------------------------------ *)
 (* Figure reproductions (simulated time; real numerics).               *)
@@ -268,6 +312,9 @@ let () =
   run_bechamel ();
   run_domain_scaling ();
   section "fault-sweep" run_fault_sweep;
+  (match Sys.getenv_opt "BENCH_TRACE_DIR" with
+  | Some dir -> section "trace-export" (fun () -> run_trace_exports dir)
+  | None -> ());
 
   section "table2" (fun () -> Format.printf "%a@." Datasets.pp_table2 ());
 

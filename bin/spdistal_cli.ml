@@ -2,15 +2,20 @@
 
    Subcommands:
      run      -- run one kernel on one dataset/system/machine cell
+     prof     -- run one kernel traced and print a Legion-Prof-style report
      show     -- print the compiled partitioning plan for a kernel
      table2   -- print the dataset inventory (paper Table II)
      fig10 | fig11 | fig12 | fig13 -- regenerate an evaluation figure
-     datasets -- list the dataset analogs *)
+     datasets -- list the dataset analogs
+     trace-check -- validate a Chrome trace-event JSON file *)
 
 open Cmdliner
 open Spdistal_runtime
 open Spdistal_workloads
 open Spdistal_experiments
+module Trace = Spdistal_obs.Trace
+module Chrome_trace = Spdistal_obs.Chrome_trace
+module Report = Spdistal_obs.Report
 
 let kernel_conv =
   let parse s =
@@ -106,10 +111,53 @@ let load_dataset name =
   let e = Datasets.find name in
   e.Datasets.load ()
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           Perfetto or chrome://tracing).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write per-launch metrics CSV of the run to $(docv).")
+
+(* Install an ambient trace when any observability output was requested (the
+   run path reaches the interpreter through the baselines' Runner, which
+   takes no explicit trace), and export it afterwards. *)
+let start_trace trace_out metrics_out =
+  if trace_out <> None || metrics_out <> None then begin
+    let t = Trace.create () in
+    Trace.set_default t;
+    t
+  end
+  else Trace.null
+
+let finish_trace t trace_out metrics_out =
+  (match trace_out with
+  | Some path ->
+      Chrome_trace.write t ~path;
+      Printf.printf "trace written to %s\n" path
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Report.to_csv (Report.of_trace t));
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
+  | None -> ()
+
 let run_cmd =
-  let f kernel dataset system pieces gpu cols domains fseed frate fretries =
+  let f kernel dataset system pieces gpu cols domains fseed frate fretries
+      trace_out metrics_out =
     set_domains domains;
     set_faults fseed frate fretries;
+    let trace = start_trace trace_out metrics_out in
     let b = load_dataset dataset in
     let machine =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
@@ -122,13 +170,82 @@ let run_cmd =
           (Runner.kernel_name kernel) dataset (Runner.system_name system) pieces
           (if gpu then "GPU(s)" else "node(s)")
           (1000. *. r.Spdistal_baselines.Common.time));
+    finish_trace trace trace_out metrics_out;
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
     Term.(
       const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
       $ cols_arg $ domains_arg $ fault_seed_arg $ fault_rate_arg
-      $ max_retries_arg)
+      $ max_retries_arg $ trace_out_arg $ metrics_out_arg)
+
+(* The SpDISTAL problem of one kernel cell (shared by show and prof). *)
+let problem_for ~kernel ~machine ~cols b =
+  let gpu_kind = machine.Machine.kind = Machine.Gpu in
+  match kernel with
+  | Runner.Spmv -> Core.Kernels.spmv_problem ~machine b
+  | Runner.Spmm -> Core.Kernels.spmm_problem ~machine ~cols ~nonzero_dist:gpu_kind b
+  | Runner.Spadd3 -> Core.Kernels.spadd3_problem ~machine b
+  | Runner.Sddmm -> Core.Kernels.sddmm_problem ~machine ~cols b
+  | Runner.Spttv -> Core.Kernels.spttv_problem ~machine ~nonzero_dist:gpu_kind b
+  | Runner.Mttkrp -> Core.Kernels.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu_kind b
+
+let prof_cmd =
+  let f kernel dataset pieces gpu cols domains fseed frate fretries trace_out
+      metrics_out =
+    set_domains domains;
+    set_faults fseed frate fretries;
+    let b = load_dataset dataset in
+    let machine =
+      if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
+    in
+    let problem = problem_for ~kernel ~machine ~cols b in
+    let trace = Trace.create () in
+    Trace.set_meta trace "dataset" dataset;
+    let r = Core.Spdistal.run ~trace problem in
+    (match r.Core.Spdistal.dnc with
+    | Some reason -> Printf.printf "DNC: %s\n" reason
+    | None ->
+        Format.printf "%s on %s: %a@.@." (Runner.kernel_name kernel) dataset
+          Cost.pp r.Core.Spdistal.cost;
+        Format.printf "%a@." Report.pp (Report.of_trace trace));
+    finish_trace trace trace_out metrics_out;
+    if r.Core.Spdistal.dnc = None then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Run one SpDISTAL kernel with tracing on and print a \
+          Legion-Prof-style report: critical-path breakdown per launch, \
+          per-node utilization, the node-to-node communication matrix and \
+          piece-time imbalance")
+    Term.(
+      const f $ kernel_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg
+      $ domains_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg
+      $ trace_out_arg $ metrics_out_arg)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let f path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Chrome_trace.validate s with
+    | Ok () ->
+        Printf.printf "%s: ok\n" path;
+        0
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event JSON file (well-formed, monotone \
+          timestamps per track)")
+    Term.(const f $ file_arg)
 
 let show_cmd =
   let f kernel dataset pieces gpu cols =
@@ -136,17 +253,7 @@ let show_cmd =
     let machine =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
     in
-    let gpu_kind = machine.Machine.kind = Machine.Gpu in
-    let problem =
-      match kernel with
-      | Runner.Spmv -> Core.Kernels.spmv_problem ~machine b
-      | Runner.Spmm -> Core.Kernels.spmm_problem ~machine ~cols ~nonzero_dist:gpu_kind b
-      | Runner.Spadd3 -> Core.Kernels.spadd3_problem ~machine b
-      | Runner.Sddmm -> Core.Kernels.sddmm_problem ~machine ~cols b
-      | Runner.Spttv -> Core.Kernels.spttv_problem ~machine ~nonzero_dist:gpu_kind b
-      | Runner.Mttkrp -> Core.Kernels.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu_kind b
-    in
-    print_endline (Core.Spdistal.show problem);
+    print_endline (Core.Spdistal.show (problem_for ~kernel ~machine ~cols b));
     0
   in
   Cmd.v
@@ -341,8 +448,9 @@ let main =
     (Cmd.info "spdistal" ~version:"1.0.0"
        ~doc:"SpDISTAL reproduction: distributed sparse tensor algebra compiler")
     [
-      run_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd; fig11_cmd;
-      fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
+      run_cmd; prof_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd;
+      fig11_cmd; fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
+      trace_check_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

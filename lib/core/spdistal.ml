@@ -16,28 +16,44 @@ let problem ~machine ~operands ~stmt ~schedule =
 
 let bindings p = List.map (fun (n, s, _) -> (n, s)) p.operands
 
-let compile p =
-  let env = Operand.env_of_bindings (bindings p) in
-  Lower.lower ~env ~grid:p.machine.Machine.grid p.stmt p.schedule
+module Trace = Spdistal_obs.Trace
+
+let host_track () = Trace.Host (Domain.self () :> int)
+
+let compile ?trace p =
+  let trace = match trace with Some t -> t | None -> Trace.default () in
+  Trace.with_wall_span trace ~track:(host_track ()) ~cat:"phase" ~name:"lower"
+    (fun () ->
+      let env = Operand.env_of_bindings (bindings p) in
+      Lower.lower ~env ~grid:p.machine.Machine.grid p.stmt p.schedule)
 
 let show p = Pretty.prog_to_string (compile p)
 
 type run_result = { cost : Cost.t; dnc : string option }
 
-let run ?(uvm = false) ?domains ?faults p =
+let run ?(uvm = false) ?domains ?faults ?trace p =
+  let trace = match trace with Some t -> t | None -> Trace.default () in
   let b = bindings p in
   let cost = Cost.create () in
+  if Trace.enabled trace then begin
+    Trace.set_meta trace "kernel" p.stmt.Tin.lhs.Tin.tensor;
+    Trace.set_meta trace "proc_kind"
+      (match p.machine.Machine.kind with Machine.Cpu -> "cpu" | Machine.Gpu -> "gpu");
+    Trace.set_meta trace "pieces" (string_of_int (Machine.pieces p.machine))
+  end;
   try
     let placement =
-      List.map
-        (fun (name, _, tdn) ->
-          (name, Placement.of_tdn ~machine:p.machine ~bindings:b name tdn))
-        p.operands
+      Trace.with_wall_span trace ~track:(host_track ()) ~cat:"phase"
+        ~name:"placement" (fun () ->
+          List.map
+            (fun (name, _, tdn) ->
+              (name, Placement.of_tdn ~machine:p.machine ~bindings:b name tdn))
+            p.operands)
     in
-    let prog = compile p in
+    let prog = compile ~trace p in
     let memstate = Memstate.create p.machine ~uvm in
     Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost
-      ?domains ?faults prog;
+      ?domains ?faults ~trace prog;
     { cost; dnc = None }
   with
   | Memstate.Oom reason -> { cost; dnc = Some reason }

@@ -40,8 +40,10 @@ val problem :
   schedule:Schedule.t ->
   problem
 
-(** Lower the problem to its partitioning-and-compute program (Fig. 9). *)
-val compile : problem -> Loop_ir.prog
+(** Lower the problem to its partitioning-and-compute program (Fig. 9).
+    [trace] (default {!Spdistal_obs.Trace.default}) gets a host-clock
+    "lower" phase span. *)
+val compile : ?trace:Spdistal_obs.Trace.t -> problem -> Loop_ir.prog
 
 (** Render the compiled program as paper-style pseudo-code. *)
 val show : problem -> string
@@ -64,9 +66,19 @@ type run_result = {
     deterministic fault schedule and prices Legion-style recovery into the
     cost; outputs stay bit-identical to the fault-free run.  When recovery
     is exhausted (a fault recurring past [max_retries]) the run reports a
-    DNC instead of raising. *)
+    DNC instead of raising.
+
+    [trace] (default {!Spdistal_obs.Trace.default}) records the whole run:
+    compile/placement phase spans on the host clock and every runtime event
+    on the simulated clock (see {!Spdistal_exec.Interp.run}).  Tracing never
+    changes outputs or cost. *)
 val run :
-  ?uvm:bool -> ?domains:int -> ?faults:Fault.config -> problem -> run_result
+  ?uvm:bool ->
+  ?domains:int ->
+  ?faults:Fault.config ->
+  ?trace:Spdistal_obs.Trace.t ->
+  problem ->
+  run_result
 
 (** Simulated seconds, or [None] on DNC. *)
 val time_of : run_result -> float option

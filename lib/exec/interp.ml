@@ -93,12 +93,18 @@ type piece_sim = {
   ps_comm_time : float;  (** data movement into the piece, before paging *)
   ps_footprint : float;  (** bytes the piece must hold resident *)
   ps_msg_bytes : float list;  (** per-message byte counts, in issue order *)
+  ps_edges : (int * float) list;
+      (** (source node, bytes) attribution of the piece's transfers, in
+          issue order; only populated when tracing *)
   ps_leaf : Leaf.result option;
       (** [None] when the leaf writes overlap across pieces ([out_reduce])
           and execution was deferred to the reducing domain *)
 }
 
-let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
+module Trace = Spdistal_obs.Trace
+
+let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
+    prog =
   let pieces = Loop_ir.pieces prog in
   if pieces <> Machine.pieces machine then
     Error.fail Error.Config "program lowered for a different machine size";
@@ -112,10 +118,16 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
   (* Launch index within this run: a coordinate of the fault schedule, so a
      fault in launch 2 stays in launch 2 whatever the domain degree. *)
   let launch_ix = ref (-1) in
+  let trace = match trace with Some t -> t | None -> Trace.default () in
   let pool = Pool.get (Pool.effective_workers domains) in
   let grid = prog.Loop_ir.grid in
-  let penv = Part_eval.create bindings in
-  let loops = Part_eval.eval_partitions penv prog in
+  let penv = Part_eval.create ~trace bindings in
+  let loops =
+    Trace.with_wall_span trace
+      ~track:(Trace.Host (Domain.self () :> int))
+      ~cat:"phase" ~name:"part_eval"
+      (fun () -> Part_eval.eval_partitions penv prog)
+  in
   last := Some penv;
   let part name = Part_eval.find_partition penv name in
   let subset_for p piece =
@@ -123,6 +135,42 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
   in
   let data name = (Operand.find bindings name).Operand.data in
   let intra = Machine.nodes machine = 1 in
+  (* Source attribution of a fetch, for the trace's comm matrix: walk owner
+     pieces in ascending order, hand each the overlap of its resident subset
+     with what is still missing; whatever nobody holds is charged to node 0
+     (the home of undistributed data).  Deterministic, and row sums equal
+     the fetched byte volume by construction. *)
+  let edge_srcs ~tensor ~comm_dim ~elt missing =
+    let left = ref missing and acc = ref [] in
+    (try
+       for o = 0 to pieces - 1 do
+         if Iset.is_empty !left then raise Exit;
+         match
+           Placement.resident_set placement ~tensor ~comm_dim
+             ~piece_subset:(fun p -> subset_for p o)
+         with
+         | `Nothing -> ()
+         | `All ->
+             acc :=
+               ( Machine.node_of_piece machine o,
+                 float_of_int (Iset.cardinal !left) *. elt )
+               :: !acc;
+             left := Iset.empty
+         | `Set r ->
+             let take = Iset.inter !left r in
+             if not (Iset.is_empty take) then begin
+               left := Iset.diff !left take;
+               acc :=
+                 ( Machine.node_of_piece machine o,
+                   float_of_int (Iset.cardinal take) *. elt )
+                 :: !acc
+             end
+       done
+     with Exit -> ());
+    if not (Iset.is_empty !left) then
+      acc := (0, float_of_int (Iset.cardinal !left) *. elt) :: !acc;
+    List.rev !acc
+  in
   List.iter
     (function
       | Loop_ir.Distributed_for { shard_parts; comms; out_comm; leaf; _ } ->
@@ -179,6 +227,7 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
             let comm_time = ref 0. in
             let footprint = ref 0. in
             let msgs = ref [] in
+            let edges = ref [] in
             List.iter
               (fun (cm : Loop_ir.comm) ->
                 let d = data cm.Loop_ir.comm_tensor in
@@ -207,7 +256,9 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
                     | `Set _ | `Nothing ->
                         comm_time :=
                           !comm_time +. Machine.bcast_time machine ~bytes;
-                        msgs := bytes :: !msgs)
+                        msgs := bytes :: !msgs;
+                        if Trace.enabled trace then
+                          edges := (0, bytes) :: !edges)
                 | Some pname ->
                     let needed = subset_for (part pname) c in
                     let needed_bytes =
@@ -230,7 +281,13 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
                       comm_time :=
                         !comm_time
                         +. Machine.p2p_time machine ~intra_node:intra ~bytes;
-                      msgs := bytes :: !msgs
+                      msgs := bytes :: !msgs;
+                      if Trace.enabled trace then
+                        edges :=
+                          List.rev_append
+                            (edge_srcs ~tensor:cm.Loop_ir.comm_tensor
+                               ~comm_dim:cm.Loop_ir.comm_dim ~elt missing)
+                            !edges
                     end)
               comms;
             let ps_leaf =
@@ -240,10 +297,30 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
               ps_comm_time = !comm_time;
               ps_footprint = !footprint;
               ps_msg_bytes = List.rev !msgs;
+              ps_edges = List.rev !edges;
               ps_leaf;
             }
           in
-          let sims = Pool.map pool simulate pieces in
+          let sims =
+            if Trace.enabled trace then begin
+              (* Profiled map: same results, plus which domain simulated each
+                 piece and when (host clock, for the occupancy tracks). *)
+              let prof = Pool.map_prof pool simulate pieces in
+              Array.iteri
+                (fun c ((_ : piece_sim), pj) ->
+                  Trace.span trace
+                    ~track:(Trace.Host pj.Pool.pj_domain)
+                    ~clock:Trace.Wall ~cat:"pool"
+                    ~args:[ ("launch", Trace.I launch); ("piece", Trace.I c) ]
+                    ~start:(pj.Pool.pj_start -. Trace.epoch trace)
+                    ~dur:(pj.Pool.pj_stop -. pj.Pool.pj_start)
+                    "simulate")
+                prof;
+              Array.map fst prof
+            end
+            else Pool.map pool simulate pieces
+          in
+          let t0 = Cost.total cost in
           (* --- reduce piece results, in piece order --- *)
           let comm_times = Array.make pieces 0. in
           let leaf_times = Array.make pieces 0. in
@@ -269,9 +346,21 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
                   | Memstate.Hit | Memstate.Miss _ -> ()
                   | Memstate.Paged overflow ->
                       (* Page the overflow in and out once per iteration. *)
-                      comm_time :=
-                        !comm_time
-                        +. (2. *. overflow /. machine.Machine.params.uvm_page_bw)));
+                      let pt =
+                        2. *. overflow /. machine.Machine.params.uvm_page_bw
+                      in
+                      comm_time := !comm_time +. pt;
+                      Trace.span trace
+                        ~track:
+                          (Trace.Piece
+                             { node = Machine.node_of_piece machine c; piece = c })
+                        ~clock:Trace.Sim ~cat:"comm"
+                        ~args:
+                          [
+                            ("launch", Trace.I launch);
+                            ("overflow_bytes", Trace.F overflow);
+                          ]
+                        ~start:(t0 +. ps.ps_comm_time) ~dur:pt "uvm_page"));
               let res =
                 match ps.ps_leaf with Some r -> r | None -> exec_leaf c
               in
@@ -315,11 +404,64 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
                     ~messages:r.Fault.resent_msgs
                     (r.Fault.extra_comm +. r.Fault.extra_leaf);
                   comm_times.(c) <- !comm_time +. r.Fault.extra_comm;
-                  leaf_times.(c) <- lt +. r.Fault.extra_leaf))
+                  leaf_times.(c) <- lt +. r.Fault.extra_leaf;
+                  if Trace.enabled trace && Fault.events r > 0 then
+                    Trace.span trace
+                      ~track:
+                        (Trace.Piece
+                           { node = Machine.node_of_piece machine c; piece = c })
+                      ~clock:Trace.Sim ~cat:"fault"
+                      ~args:(Fault.trace_args r)
+                      ~start:(t0 +. comm_times.(c) +. leaf_times.(c))
+                      ~dur:0. "recovery");
+              if Trace.enabled trace then begin
+                let node = Machine.node_of_piece machine c in
+                List.iter
+                  (fun (src, b) -> Trace.comm_edge trace ~src ~dst:node b)
+                  ps.ps_edges;
+                let track = Trace.Piece { node; piece = c } in
+                Trace.span trace ~track ~clock:Trace.Sim ~cat:"comm"
+                  ~args:[ ("launch", Trace.I launch) ]
+                  ~start:t0 ~dur:comm_times.(c) "fetch";
+                Trace.span trace ~track ~clock:Trace.Sim ~cat:"compute"
+                  ~args:[ ("launch", Trace.I launch) ]
+                  ~start:(t0 +. comm_times.(c))
+                  ~dur:leaf_times.(c) kernel
+              end)
             sims;
           let partials = List.rev !partials in
           Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
           Cost.record_launch_split cost ~machine ~comm_times ~leaf_times;
+          if Trace.enabled trace then begin
+            let crit = ref 0 and best = ref neg_infinity in
+            Array.iteri
+              (fun i ct ->
+                let t = ct +. leaf_times.(i) in
+                if t > !best then begin
+                  best := t;
+                  crit := i
+                end)
+              comm_times;
+            (* The launch span is the [Cost.total] delta, so the sum of
+               launch (+ reduce) span durations reconstructs the clock
+               exactly. *)
+            Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim
+              ~cat:"launch"
+              ~args:
+                [
+                  ("launch", Trace.I launch);
+                  ("pieces", Trace.I pieces);
+                  ("crit_piece", Trace.I !crit);
+                  ("crit_comm", Trace.F comm_times.(!crit));
+                  ("crit_compute", Trace.F leaf_times.(!crit));
+                  ("overhead", Trace.F (Machine.launch_overhead machine));
+                  ("bytes", Trace.F !total_bytes);
+                  ("messages", Trace.I !total_msgs);
+                ]
+              ~start:t0
+              ~dur:(Cost.total cost -. t0)
+              kernel
+          end;
           (* --- output reduction for aliased ownership --- *)
           (match out_comm with
           | None -> ()
@@ -351,11 +493,35 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults prog =
                 let bytes =
                   float_of_int overlap *. elt /. float_of_int pieces
                 in
+                let r0 = Cost.total cost in
                 Cost.add_comm cost
                   ~bytes:(float_of_int overlap *. elt)
                   ~messages:pieces
-                  (Machine.reduce_time machine ~bytes)
+                  (Machine.reduce_time machine ~bytes);
+                if Trace.enabled trace then begin
+                  (* Each piece ships its overlapping share home to the
+                     output's owner on node 0. *)
+                  for c = 0 to pieces - 1 do
+                    Trace.comm_edge trace
+                      ~src:(Machine.node_of_piece machine c)
+                      ~dst:0 bytes
+                  done;
+                  Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim
+                    ~cat:"launch"
+                    ~args:
+                      [
+                        ("launch", Trace.I launch);
+                        ("bytes", Trace.F (float_of_int overlap *. elt));
+                        ("messages", Trace.I pieces);
+                      ]
+                    ~start:r0
+                    ~dur:(Cost.total cost -. r0)
+                    (kernel ^ ":reduce")
+                end
               end);
+          if Trace.enabled trace then
+            Trace.counter trace ~name:"cost" ~time:(Cost.total cost)
+              (Cost.counters cost);
           (* --- stitch unknown-pattern outputs --- *)
           if partials <> [] then begin
             let out_acc = leaf.Loop_ir.leaf_stmt.Tin.lhs in

@@ -42,7 +42,15 @@ open Spdistal_runtime
     fault-free run under any schedule; only per-piece times, moved bytes and
     the recovery counters change.  Recovery exhaustion (a fault recurring
     past [max_retries], or a crash with no surviving node) raises
-    {!Spdistal_runtime.Error.Error} with the [Recovery] phase. *)
+    {!Spdistal_runtime.Error.Error} with the [Recovery] phase.
+
+    [trace] (default {!Spdistal_obs.Trace.default}) receives the run's
+    events: per-launch critical-path spans on the runtime track, per-piece
+    fetch/compute spans (plus UVM paging and fault-recovery instants) on
+    piece tracks, dependent-partitioning and pool-occupancy spans on the
+    host clock, comm-matrix edges and cumulative cost counters.  Tracing
+    never changes computed tensors or [cost] — all emission happens on the
+    reducing domain in piece order. *)
 val run :
   machine:Machine.t ->
   bindings:Operand.bindings ->
@@ -51,6 +59,7 @@ val run :
   cost:Cost.t ->
   ?domains:int ->
   ?faults:Fault.config ->
+  ?trace:Spdistal_obs.Trace.t ->
   Spdistal_ir.Loop_ir.prog ->
   unit
 

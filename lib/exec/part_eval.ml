@@ -7,20 +7,32 @@ type coloring_state = {
   c_axis : Partition.axis;
 }
 
+module Trace = Spdistal_obs.Trace
+
 type env = {
   bindings : Operand.bindings;
   colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;
+  trace : Trace.t;
 }
 
-let create bindings =
+let create ?(trace = Trace.null) bindings =
   {
     bindings;
     colorings = Hashtbl.create 16;
     partitions = Hashtbl.create 16;
     dep_ops = 0;
+    trace;
   }
+
+(* A dependent-partitioning operation (the paper's image/preimage/value-range
+   queries): counted always, timed on the host clock when tracing. *)
+let dep_op env name f =
+  env.dep_ops <- env.dep_ops + 1;
+  Trace.with_wall_span env.trace
+    ~track:(Trace.Host (Domain.self () :> int))
+    ~cat:"dep" ~name f
 
 let data env name = (Operand.find env.bindings name).Operand.data
 
@@ -105,33 +117,36 @@ let eval_pexpr env = function
         | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "value ranges need a crd region"
       in
-      env.dep_ops <- env.dep_ops + 1;
       let bounds, axis = coloring_bounds env coloring in
-      Partition.by_value_ranges ~axis ~values:crd (rref_ispace env target) bounds
+      dep_op env "by_value_ranges" (fun () ->
+          Partition.by_value_ranges ~axis ~values:crd (rref_ispace env target)
+            bounds)
   | Loop_ir.Image_range { pos; part; target } ->
       let posr =
         match pos with
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "image needs a pos region"
       in
-      env.dep_ops <- env.dep_ops + 1;
-      Dependent.image_ranges posr (find_partition env part) (rref_ispace env target)
+      dep_op env "image_range" (fun () ->
+          Dependent.image_ranges posr (find_partition env part)
+            (rref_ispace env target))
   | Loop_ir.Preimage_range { pos; part } ->
       let posr =
         match pos with
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "preimage needs a pos region"
       in
-      env.dep_ops <- env.dep_ops + 1;
-      Dependent.preimage_ranges posr (find_partition env part)
+      dep_op env "preimage_range" (fun () ->
+          Dependent.preimage_ranges posr (find_partition env part))
   | Loop_ir.Image_values { crd; part; target } ->
       let crdr =
         match crd with
         | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "imageValues needs a crd region"
       in
-      env.dep_ops <- env.dep_ops + 1;
-      Dependent.image_values crdr (find_partition env part) (rref_ispace env target)
+      dep_op env "image_values" (fun () ->
+          Dependent.image_values crdr (find_partition env part)
+            (rref_ispace env target))
   | Loop_ir.Copy_part p -> find_partition env p
   | Loop_ir.Scale_dense { part; dim } ->
       let d = eval_dim env dim in

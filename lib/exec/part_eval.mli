@@ -20,9 +20,14 @@ type env = {
   colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;  (** dependent-partitioning operations executed *)
+  trace : Spdistal_obs.Trace.t;
+      (** sink for host-clock spans around dependent-partitioning ops *)
 }
 
-val create : Operand.bindings -> env
+(** [create ?trace bindings] — [trace] (default
+    {!Spdistal_obs.Trace.null}) receives one host-clock "dep" span per
+    dependent-partitioning operation. *)
+val create : ?trace:Spdistal_obs.Trace.t -> Operand.bindings -> env
 
 (** Resolve a symbolic dimension. *)
 val eval_dim : env -> Loop_ir.dim_expr -> int

@@ -64,17 +64,17 @@ type fault_row = {
   f_seed : int;
   f_seconds : float option;  (** [None] = DNC (recovery exhausted) *)
   f_baseline : float;  (** fault-free simulated seconds *)
-  f_recovery : float;  (** simulated seconds spent recovering *)
-  f_retries : int;
-  f_resent_bytes : float;
-  f_faults : int;  (** fault events recovered *)
+  f_cost : Cost.t;  (** the faulted run's full cost record *)
   f_identical : bool;  (** outputs bitwise equal to the fault-free run *)
 }
 
 let faults rows =
   let b = Buffer.create 4096 in
+  (* The cost columns come verbatim from {!Cost.csv_header} — one source of
+     truth for cost serialization. *)
   Buffer.add_string b
-    "kernel,rate,seed,seconds,baseline_seconds,overhead_pct,recovery_seconds,retries,resent_bytes,fault_events,outputs_identical\n";
+    ("kernel,rate,seed,seconds,baseline_seconds,overhead_pct,outputs_identical,"
+   ^ Cost.csv_header ^ "\n");
   List.iter
     (fun r ->
       let overhead =
@@ -84,9 +84,9 @@ let faults rows =
         | _ -> "DNC"
       in
       Buffer.add_string b
-        (Printf.sprintf "%s,%.3f,%d,%s,%.9f,%s,%.9f,%d,%.3e,%d,%b\n" r.f_kernel
-           r.f_rate r.f_seed (time_cell r.f_seconds) r.f_baseline overhead
-           r.f_recovery r.f_retries r.f_resent_bytes r.f_faults r.f_identical))
+        (Printf.sprintf "%s,%.3f,%d,%s,%.9f,%s,%b,%s\n" r.f_kernel r.f_rate
+           r.f_seed (time_cell r.f_seconds) r.f_baseline overhead r.f_identical
+           (Cost.to_csv_row r.f_cost)))
     rows;
   Buffer.contents b
 

@@ -14,10 +14,9 @@ type fault_row = {
   f_seed : int;
   f_seconds : float option;  (** [None] = DNC (recovery exhausted) *)
   f_baseline : float;  (** fault-free simulated seconds *)
-  f_recovery : float;  (** simulated seconds spent recovering *)
-  f_retries : int;
-  f_resent_bytes : float;
-  f_faults : int;  (** fault events recovered *)
+  f_cost : Spdistal_runtime.Cost.t;
+      (** the faulted run's full cost record; serialized with
+          {!Spdistal_runtime.Cost.to_csv_row} *)
   f_identical : bool;  (** outputs bitwise equal to the fault-free run *)
 }
 

@@ -1,0 +1,356 @@
+(* Export and validation of the Chrome trace-event format.  Hand-rolled JSON
+   (the repository deliberately has no JSON dependency); the validator is a
+   minimal recursive-descent parser over the same subset. *)
+
+let pid_runtime = 1
+let pid_host = 2
+let pid_of_node n = 100 + n
+
+let track_ids = function
+  | Trace.Runtime -> (pid_runtime, 0)
+  | Trace.Piece { node; piece } -> (pid_of_node node, piece)
+  | Trace.Host d -> (pid_host, d)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+(* JSON has no NaN/Infinity; clamp (timestamps/durations are finite in any
+   correct trace, this is belt-and-braces for exporting a broken one). *)
+let jfloat f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.6f" f
+
+let jvalue = function
+  | Trace.I i -> string_of_int i
+  | Trace.F f -> jfloat f
+  | Trace.S s -> jstr s
+  | Trace.B b -> string_of_bool b
+
+let jargs args =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ jvalue v) args)
+  ^ "}"
+
+let usec s = s *. 1e6
+
+let span_event (sp : Trace.span) =
+  let pid, tid = track_ids sp.Trace.sp_track in
+  let args =
+    ("clock", Trace.S (match sp.Trace.sp_clock with Trace.Sim -> "sim" | Trace.Wall -> "wall"))
+    :: sp.Trace.sp_args
+  in
+  Printf.sprintf
+    "{\"ph\":\"X\",\"name\":%s,\"cat\":%s,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+    (jstr sp.Trace.sp_name) (jstr sp.Trace.sp_cat) pid tid
+    (jfloat (usec sp.Trace.sp_start))
+    (jfloat (usec sp.Trace.sp_dur))
+    (jargs args)
+
+let counter_event (c : Trace.counter) =
+  Printf.sprintf
+    "{\"ph\":\"C\",\"name\":%s,\"pid\":%d,\"tid\":0,\"ts\":%s,\"args\":%s}"
+    (jstr c.Trace.ct_name) pid_runtime
+    (jfloat (usec c.Trace.ct_time))
+    (jargs (List.map (fun (k, v) -> (k, Trace.F v)) c.Trace.ct_series))
+
+let meta_event ~pid ?tid ~name value =
+  match tid with
+  | None ->
+      Printf.sprintf
+        "{\"ph\":\"M\",\"name\":%s,\"pid\":%d,\"args\":{\"name\":%s}}"
+        (jstr name) pid (jstr value)
+  | Some tid ->
+      Printf.sprintf
+        "{\"ph\":\"M\",\"name\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+        (jstr name) pid tid (jstr value)
+
+let to_json t =
+  let spans = Trace.spans t in
+  (* Name the tracks that actually appear. *)
+  let tracks = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      if not (Hashtbl.mem tracks sp.Trace.sp_track) then
+        Hashtbl.add tracks sp.Trace.sp_track ())
+    spans;
+  let metas = ref [] in
+  let seen_pid = Hashtbl.create 8 in
+  let add_pid pid name =
+    if not (Hashtbl.mem seen_pid pid) then begin
+      Hashtbl.add seen_pid pid ();
+      metas := meta_event ~pid ~name:"process_name" name :: !metas
+    end
+  in
+  add_pid pid_runtime "sim runtime";
+  Hashtbl.iter
+    (fun tr () ->
+      match tr with
+      | Trace.Runtime -> ()
+      | Trace.Piece { node; piece } ->
+          add_pid (pid_of_node node) (Printf.sprintf "sim node %d" node);
+          metas :=
+            meta_event ~pid:(pid_of_node node) ~tid:piece ~name:"thread_name"
+              (Printf.sprintf "piece %d" piece)
+            :: !metas
+      | Trace.Host d ->
+          add_pid pid_host "host (wall clock)";
+          metas :=
+            meta_event ~pid:pid_host ~tid:d ~name:"thread_name"
+              (Printf.sprintf "domain %d" d)
+            :: !metas)
+    tracks;
+  (* Group span events per track and sort each track by start time, so the
+     file satisfies the monotone-per-track property the validator checks
+     (host-domain spans are emitted in piece order, not time order). *)
+  let by_track = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let key = track_ids sp.Trace.sp_track in
+      let cur = try Hashtbl.find by_track key with Not_found -> [] in
+      Hashtbl.replace by_track key (sp :: cur))
+    spans;
+  let track_events =
+    Hashtbl.fold (fun key sps acc -> (key, List.rev sps) :: acc) by_track []
+    |> List.sort compare
+    |> List.concat_map (fun (_, sps) ->
+           List.stable_sort
+             (fun (a : Trace.span) b -> compare a.Trace.sp_start b.Trace.sp_start)
+             sps
+           |> List.map span_event)
+  in
+  let counter_events = List.map counter_event (Trace.counters t) in
+  let events = List.rev !metas @ track_events @ counter_events in
+  let other =
+    ("tool", "spdistal") :: Trace.meta t
+    |> List.map (fun (k, v) -> jstr k ^ ":" ^ jstr v)
+    |> String.concat ","
+  in
+  "{\"traceEvents\":[\n"
+  ^ String.concat ",\n" events
+  ^ "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{" ^ other ^ "}}\n"
+
+let write t ~path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Bad (Printf.sprintf "expected %c at offset %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then raise (Bad "bad escape");
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then raise (Bad "bad \\u escape");
+              (* decode to '?' — content is irrelevant to validation *)
+              pos := !pos + 4;
+              Buffer.add_char b '?'
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> raise (Bad (Printf.sprintf "bad object at offset %d" !pos))
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> raise (Bad (Printf.sprintf "bad array at offset %d" !pos))
+          in
+          Arr (items [])
+        end
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else raise (Bad "bad literal")
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else raise (Bad "bad literal")
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Null
+        end
+        else raise (Bad "bad literal")
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        let num_char = function
+          | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+          | _ -> false
+        in
+        while !pos < n && num_char s.[!pos] do
+          advance ()
+        done;
+        (match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> Num f
+        | None -> raise (Bad (Printf.sprintf "bad number at offset %d" start)))
+    | _ -> raise (Bad (Printf.sprintf "unexpected input at offset %d" !pos))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad (Printf.sprintf "trailing input at offset %d" !pos));
+  v
+
+let field k = function Obj fs -> List.assoc_opt k fs | _ -> None
+
+let validate text =
+  try
+    let root = parse_json text in
+    let events =
+      match field "traceEvents" root with
+      | Some (Arr evs) -> evs
+      | _ -> raise (Bad "no traceEvents array")
+    in
+    let last_ts = Hashtbl.create 32 in
+    List.iteri
+      (fun i ev ->
+        let fail msg = raise (Bad (Printf.sprintf "event %d: %s" i msg)) in
+        let ph =
+          match field "ph" ev with
+          | Some (Str p) -> p
+          | _ -> fail "missing ph"
+        in
+        match ph with
+        | "M" -> ()
+        | "X" | "C" ->
+            let num k =
+              match field k ev with
+              | Some (Num f) -> f
+              | _ -> fail (Printf.sprintf "missing numeric %s" k)
+            in
+            let ts = num "ts" in
+            if ph = "X" && num "dur" < 0. then fail "negative dur";
+            let track = (num "pid", num "tid") in
+            (match Hashtbl.find_opt last_ts track with
+            | Some prev when ts < prev ->
+                fail
+                  (Printf.sprintf
+                     "non-monotone ts on track (%.0f,%.0f): %.3f after %.3f"
+                     (fst track) (snd track) ts prev)
+            | _ -> ());
+            Hashtbl.replace last_ts track ts
+        | p -> fail (Printf.sprintf "unsupported phase %S" p))
+      events;
+    Ok ()
+  with
+  | Bad msg -> Error msg
+  | Not_found -> Error "malformed event"

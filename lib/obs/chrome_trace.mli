@@ -1,0 +1,25 @@
+(** Chrome trace-event export (loadable in Perfetto / [chrome://tracing]).
+
+    Layout: one process group per simulated node ([pid = 100 + node], one
+    thread per piece hosted there), a "sim runtime" process ([pid = 1]) for
+    launch/phase spans and counters, and a "host" process ([pid = 2]) with
+    one thread per OCaml domain for compile phases and pool occupancy.
+
+    Simulated-clock spans use simulated microseconds as [ts]; host-clock
+    spans use wall microseconds since the trace epoch.  The two clocks never
+    share a track (Perfetto renders each thread independently, so the mixed
+    units are safe; see DESIGN.md "Observability").
+
+    Within every track, events are written sorted by [ts] — the property
+    {!validate} (and the CI smoke job) checks. *)
+
+val to_json : Trace.t -> string
+
+(** Write {!to_json} to [path]. *)
+val write : Trace.t -> path:string -> unit
+
+(** Check that a string is well-formed trace-event JSON: parses, has a
+    [traceEvents] array of objects each carrying a [ph], every ["X"] event
+    has numeric [ts]/[dur >= 0], and [ts] is non-decreasing per
+    [(pid, tid)] track in file order. *)
+val validate : string -> (unit, string) result

@@ -92,6 +92,24 @@ let record_launch_split t ~machine ~comm_times ~leaf_times =
 
 let total t = t.total
 
+let csv_header =
+  "total_seconds,compute_seconds,comm_seconds,overhead_seconds,bytes_moved,\
+   messages,launches,flops,recovery_seconds,retries,resent_bytes,fault_events"
+
+let to_csv_row t =
+  Printf.sprintf "%.9f,%.9f,%.9f,%.9f,%.3e,%d,%d,%.3e,%.9f,%d,%.3e,%d" t.total
+    t.compute t.comm t.overhead t.bytes_moved t.messages t.launches t.flops
+    t.recovery t.retries t.resent_bytes t.faults
+
+let counters t =
+  [
+    ("bytes_moved", t.bytes_moved);
+    ("messages", float_of_int t.messages);
+    ("flops", t.flops);
+    ("retries", float_of_int t.retries);
+    ("fault_events", float_of_int t.faults);
+  ]
+
 let pp fmt t =
   Format.fprintf fmt
     "%.6fs (compute %.6fs, comm %.6fs, overhead %.6fs; %.3e B moved, %d msgs, \

@@ -53,3 +53,13 @@ val record_launch_split :
 
 val total : t -> float
 val pp : Format.formatter -> t -> unit
+
+(** Header matching {!to_csv_row} (no trailing newline). *)
+val csv_header : string
+
+(** The record as one CSV row, column-compatible with {!csv_header}. *)
+val to_csv_row : t -> string
+
+(** Monotone per-run counter series, for trace counter events: cumulative
+    bytes moved, messages, flops, retries and fault events. *)
+val counters : t -> (string * float) list

@@ -210,6 +210,18 @@ let no_recovery =
 
 let events r = r.crashes + r.losses + r.stragglers
 
+let trace_args r =
+  let open Spdistal_obs.Trace in
+  [
+    ("crashes", I r.crashes);
+    ("losses", I r.losses);
+    ("stragglers", I r.stragglers);
+    ("retries", I r.retries);
+    ("extra_comm", F r.extra_comm);
+    ("extra_leaf", F r.extra_leaf);
+    ("resent_bytes", F r.resent_bytes);
+  ]
+
 let recover_piece cfg ~machine ~launch ~piece ~msg_bytes ~footprint ~comm_time
     ~leaf_time =
   if not (enabled cfg) then no_recovery

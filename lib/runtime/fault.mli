@@ -101,6 +101,10 @@ val no_recovery : recovery
 (** Injected fault events priced into [r]. *)
 val events : recovery -> int
 
+(** The recovery as trace-span args, for fault-event instants on piece
+    tracks. *)
+val trace_args : recovery -> (string * Spdistal_obs.Trace.value) list
+
 (** [recover_piece cfg ~machine ~launch ~piece ~msg_bytes ~footprint
     ~comm_time ~leaf_time] plays out the piece's fault schedule for this
     launch and prices the recovery.  [msg_bytes] are the piece's transfer

@@ -135,6 +135,25 @@ let map t f n =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Profiled mapping: worker occupancy for the observability layer.      *)
+(* ------------------------------------------------------------------ *)
+
+type job_prof = { pj_domain : int; pj_start : float; pj_stop : float }
+
+let map_prof t f n =
+  map t
+    (fun i ->
+      let start = Unix.gettimeofday () in
+      let v = f i in
+      ( v,
+        {
+          pj_domain = (Domain.self () :> int);
+          pj_start = start;
+          pj_stop = Unix.gettimeofday ();
+        } ))
+    n
+
+(* ------------------------------------------------------------------ *)
 (* Shared pools, keyed by worker count.                                 *)
 (* ------------------------------------------------------------------ *)
 

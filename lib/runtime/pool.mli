@@ -26,6 +26,14 @@ val workers : t -> int
     drained — the pool stays reusable and no worker domain dies. *)
 val map : t -> (int -> 'a) -> int -> 'a array
 
+(** Host wall-clock occupancy of one {!map_prof} job: which domain ran it
+    and when (absolute [Unix.gettimeofday] seconds). *)
+type job_prof = { pj_domain : int; pj_start : float; pj_stop : float }
+
+(** {!map} plus per-job occupancy, for the observability layer.  Results are
+    still in index order; only the wall-clock fields vary run to run. *)
+val map_prof : t -> (int -> 'a) -> int -> ('a * job_prof) array
+
 (** Stop and join the workers.  The pool must not be used afterwards. *)
 val shutdown : t -> unit
 

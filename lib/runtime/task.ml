@@ -39,27 +39,38 @@ let leaf_time machine w =
     base *. penalty
   else base
 
-let index_launch cost machine ?faults ?(launch = 0) ?(comm = fun _ -> [])
-    ~work () =
+module Trace = Spdistal_obs.Trace
+
+let index_launch cost machine ?(trace = Trace.null) ?(name = "index_launch")
+    ?faults ?(launch = 0) ?(comm = fun _ -> []) ~work () =
   let fcfg =
     match faults with Some c when Fault.enabled c -> Some c | _ -> None
   in
   let p = Machine.pieces machine in
+  let t0 = Cost.total cost in
   let piece_times = Array.make p 0. in
+  let comm_times = Array.make p 0. and lf_times = Array.make p 0. in
   let total_bytes = ref 0. and total_msgs = ref 0 in
   for i = 0 to p - 1 do
     let ts = comm i in
     List.iter
       (fun t ->
         total_bytes := !total_bytes +. t.bytes;
-        total_msgs := !total_msgs + t.messages)
+        total_msgs := !total_msgs + t.messages;
+        (* Transfers carry no source; attribute intra-node moves to the
+           piece's own node and remote ones to node 0 (the data's home). *)
+        if Trace.enabled trace then
+          Trace.comm_edge trace
+            ~src:(if t.intra_node then Machine.node_of_piece machine i else 0)
+            ~dst:(Machine.node_of_piece machine i)
+            t.bytes)
       ts;
     let w = work i in
     Cost.add_flops cost w.flops;
     let ct = transfers_time machine ts and lt = leaf_time machine w in
-    let extra =
+    let ec, el =
       match fcfg with
-      | None -> 0.
+      | None -> (0., 0.)
       | Some cfg ->
           let r =
             Fault.recover_piece cfg ~machine ~launch ~piece:i
@@ -71,11 +82,49 @@ let index_launch cost machine ?faults ?(launch = 0) ?(comm = fun _ -> [])
             ~faults:(Fault.events r) ~bytes:r.Fault.resent_bytes
             ~messages:r.Fault.resent_msgs
             (r.Fault.extra_comm +. r.Fault.extra_leaf);
-          r.Fault.extra_comm +. r.Fault.extra_leaf
+          if Trace.enabled trace && Fault.events r > 0 then
+            Trace.span trace
+              ~track:(Trace.Piece { node = Machine.node_of_piece machine i; piece = i })
+              ~clock:Trace.Sim ~cat:"fault" ~args:(Fault.trace_args r)
+              ~start:(t0 +. ct +. lt) ~dur:0. "recovery";
+          (r.Fault.extra_comm, r.Fault.extra_leaf)
     in
-    piece_times.(i) <- ct +. lt +. extra
+    comm_times.(i) <- ct +. ec;
+    lf_times.(i) <- lt +. el;
+    piece_times.(i) <- ct +. lt +. ec +. el
   done;
   (* Book-keep volume without double-advancing the clock: the critical path
      already includes per-piece comm time. *)
   Cost.add_comm cost ~bytes:!total_bytes ~messages:!total_msgs 0.;
-  Cost.record_launch cost ~machine ~piece_times
+  Cost.record_launch cost ~machine ~piece_times;
+  if Trace.enabled trace then begin
+    let crit = ref 0 in
+    Array.iteri (fun i t -> if t > piece_times.(!crit) then crit := i) piece_times;
+    for i = 0 to p - 1 do
+      let node = Machine.node_of_piece machine i in
+      let track = Trace.Piece { node; piece = i } in
+      Trace.span trace ~track ~clock:Trace.Sim ~cat:"comm"
+        ~args:[ ("launch", Trace.I launch) ]
+        ~start:t0 ~dur:comm_times.(i) "fetch";
+      Trace.span trace ~track ~clock:Trace.Sim ~cat:"compute"
+        ~args:[ ("launch", Trace.I launch) ]
+        ~start:(t0 +. comm_times.(i))
+        ~dur:lf_times.(i) name
+    done;
+    Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim ~cat:"launch"
+      ~args:
+        [
+          ("launch", Trace.I launch);
+          ("pieces", Trace.I p);
+          ("crit_piece", Trace.I !crit);
+          ("crit_comm", Trace.F comm_times.(!crit));
+          ("crit_compute", Trace.F lf_times.(!crit));
+          ("overhead", Trace.F (Machine.launch_overhead machine));
+          ("bytes", Trace.F !total_bytes);
+          ("messages", Trace.I !total_msgs);
+        ]
+      ~start:t0
+      ~dur:(Cost.total cost -. t0)
+      name;
+    Trace.counter trace ~name:"cost" ~time:(Cost.total cost) (Cost.counters cost)
+  end

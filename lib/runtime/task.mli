@@ -29,10 +29,19 @@ val ( ++ ) : work -> work -> work
     When [faults] is enabled, each piece additionally plays out its
     deterministic fault schedule (crashes, lost transfers, stragglers) for
     [launch] and its recovery overhead inflates the piece's time; see
-    {!Fault.recover_piece}. *)
+    {!Fault.recover_piece}.
+
+    When [trace] is an enabled {!Spdistal_obs.Trace.t}, the launch emits
+    sim-clock spans: one per-piece comm ("fetch") and compute span on the
+    piece's track, a "launch" span on the runtime track carrying the
+    critical-path breakdown, fault-recovery instants, comm-matrix edges and
+    a cumulative cost counter sample.  [name] labels the compute and launch
+    spans. *)
 val index_launch :
   Cost.t ->
   Machine.t ->
+  ?trace:Spdistal_obs.Trace.t ->
+  ?name:string ->
   ?faults:Fault.config ->
   ?launch:int ->
   ?comm:(int -> transfer list) ->

@@ -1,4 +1,5 @@
 open Spdistal_formats
+module Srng = Spdistal_runtime.Srng
 
 let value rng = 1. +. Srng.float rng
 

@@ -24,6 +24,7 @@ let () =
       ("props", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
       ("placement", Test_placement.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

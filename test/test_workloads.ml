@@ -80,6 +80,7 @@ let test_table2_renders () =
     (Helpers.contains s "freebase_music")
 
 let test_srng () =
+  let open Spdistal_runtime in
   let r = Srng.create 1 in
   let a = Srng.int r 100 and b = Srng.int r 100 in
   Alcotest.(check bool) "stream advances" true (a <> b || Srng.int r 100 <> b);
