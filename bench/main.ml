@@ -245,6 +245,111 @@ let run_fault_sweep () =
   Printf.printf "fault sweep written: %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Iterative-launch amortization: SpMV run for N iterations through    *)
+(* the warm-start execution context.  Cached runs pay dependent        *)
+(* partitioning once (cold iteration 1) and launch from the cache      *)
+(* afterwards; --no-cache rebuilds every iteration; baselines re-pay   *)
+(* their full launch each iteration (PETSc re-scatters per MatMult).   *)
+(* ------------------------------------------------------------------ *)
+
+let run_amortization () =
+  let open Spdistal_runtime in
+  let module K = Core.Kernels in
+  let module S = Core.Spdistal in
+  let matrix =
+    Synth.power_law ~name:"amort-matrix" ~rows:4_000 ~cols:4_000 ~nnz:80_000
+      ~alpha:1.0 ~seed:91
+  in
+  let machine = Runner.cpu_machine ~nodes:8 in
+  let iters_sweep = if quick then [ 1; 2; 8 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  print_endline
+    "=== Iterative-launch amortization (SpMV, 8-node CPU; cf. Legion's \
+     dependent-partitioning reuse) ===";
+  Printf.printf "%-10s %-8s %5s %12s %12s %12s %5s %7s\n" "system" "cache"
+    "iters" "total(s)" "iter1(s)" "warm(s)" "hits" "misses";
+  let spdistal_row ~cache n =
+    let p = K.spmv_problem ~machine matrix in
+    let r = S.run ~iterations:n ~cache p in
+    let totals = List.map (fun it -> Cost.total it.S.it_cost) r.S.iters in
+    let iter1 = match totals with t :: _ -> Some t | [] -> None in
+    let warm =
+      match totals with
+      | _ :: (_ :: _ as rest) ->
+          Some (List.fold_left ( +. ) 0. rest /. float_of_int (List.length rest))
+      | _ -> None
+    in
+    let count st =
+      List.length (List.filter (fun it -> it.S.it_cache = st) r.S.iters)
+    in
+    {
+      Csv.a_kernel = "SpMV";
+      a_system = "SpDISTAL";
+      a_iterations = n;
+      a_cached = cache;
+      a_seconds =
+        (match r.S.dnc with Some _ -> None | None -> Some (Cost.total r.S.cost));
+      a_iter1 = iter1;
+      a_warm = warm;
+      a_hits = count `Hit;
+      a_misses = count `Miss;
+    }
+  in
+  let baseline_row system name n =
+    let r = Runner.run ~kernel:Runner.Spmv ~system ~machine ~iterations:n matrix in
+    {
+      Csv.a_kernel = "SpMV";
+      a_system = name;
+      a_iterations = n;
+      a_cached = false;
+      a_seconds =
+        (match r.Spdistal_baselines.Common.dnc with
+        | Some _ -> None
+        | None -> Some r.Spdistal_baselines.Common.time);
+      a_iter1 = None;
+      a_warm = None;
+      a_hits = 0;
+      a_misses = 0;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        [
+          spdistal_row ~cache:true n;
+          spdistal_row ~cache:false n;
+          baseline_row Runner.Petsc "PETSc" n;
+          baseline_row Runner.Trilinos "Trilinos" n;
+        ])
+      iters_sweep
+  in
+  let cell = function Some t -> Printf.sprintf "%12.6f" t | None -> "           -" in
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %-8s %5d %s %s %s %5d %7d\n" r.Csv.a_system
+        (if r.Csv.a_cached then "on" else "off")
+        r.Csv.a_iterations (cell r.Csv.a_seconds) (cell r.Csv.a_iter1)
+        (cell r.Csv.a_warm) r.Csv.a_hits r.Csv.a_misses)
+    rows;
+  (match
+     List.find_opt
+       (fun r -> r.Csv.a_cached && r.Csv.a_iterations = List.fold_left max 1 iters_sweep)
+       rows
+   with
+  | Some r -> (
+      match (r.Csv.a_iter1, r.Csv.a_warm) with
+      | Some c, Some w when c > w ->
+          Printf.printf
+            "amortization: cold iteration %.6fs > warm mean %.6fs (%.2fx)\n" c w
+            (c /. w)
+      | Some c, Some w ->
+          Printf.printf
+            "WARNING: no amortization visible (cold %.6fs <= warm %.6fs)\n" c w
+      | _ -> ())
+  | None -> ());
+  let path = Csv.write_amortization ~dir:"results" rows in
+  Printf.printf "amortization curve written: %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Optional observability export: BENCH_TRACE_DIR=dir runs one traced  *)
 (* cell per fig10 kernel and writes a Perfetto-loadable Chrome trace   *)
 (* plus a per-launch metrics CSV for each.                             *)
@@ -312,6 +417,7 @@ let () =
   run_bechamel ();
   run_domain_scaling ();
   section "fault-sweep" run_fault_sweep;
+  section "amortization" run_amortization;
   (match Sys.getenv_opt "BENCH_TRACE_DIR" with
   | Some dir -> section "trace-export" (fun () -> run_trace_exports dir)
   | None -> ());

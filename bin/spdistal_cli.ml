@@ -107,6 +107,28 @@ let max_retries_arg =
 let set_faults seed rate retries =
   if rate > 0. then Fault.set_default (Fault.make ~seed ~rate ~retries ())
 
+let iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "i"; "iterations" ] ~docv:"N"
+        ~doc:
+          "Run the kernel for $(docv) iterations through the warm-start \
+           execution context: partitions are computed once on the cold first \
+           iteration, cached, and reused by every subsequent launch \
+           (Legion's dependent-partitioning amortization).  Baseline \
+           systems re-pay their full launch each iteration.  Without this \
+           flag the legacy single-shot protocol is used.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the partition/kernel cache: with $(b,--iterations), \
+           partitions are rebuilt and re-priced on every iteration \
+           (the unamortized curve).  Outputs are bit-identical either way.")
+
 let load_dataset name =
   let e = Datasets.find name in
   e.Datasets.load ()
@@ -154,7 +176,7 @@ let finish_trace t trace_out metrics_out =
 
 let run_cmd =
   let f kernel dataset system pieces gpu cols domains fseed frate fretries
-      trace_out metrics_out =
+      trace_out metrics_out iterations no_cache =
     set_domains domains;
     set_faults fseed frate fretries;
     let trace = start_trace trace_out metrics_out in
@@ -162,14 +184,24 @@ let run_cmd =
     let machine =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
     in
-    let r = Runner.run ~kernel ~system ~machine ~cols b in
+    let r =
+      Runner.run ~kernel ~system ~machine ~cols ?iterations
+        ~cache:(not no_cache) b
+    in
     (match r.Spdistal_baselines.Common.dnc with
     | Some reason -> Printf.printf "DNC: %s\n" reason
     | None ->
-        Printf.printf "%s on %s, %s, %d %s: %.3f ms\n"
+        let iters =
+          match iterations with
+          | Some n -> Printf.sprintf " (%d iterations%s)" n
+                        (if no_cache then ", no cache" else "")
+          | None -> ""
+        in
+        Printf.printf "%s on %s, %s, %d %s: %.3f ms%s\n"
           (Runner.kernel_name kernel) dataset (Runner.system_name system) pieces
           (if gpu then "GPU(s)" else "node(s)")
-          (1000. *. r.Spdistal_baselines.Common.time));
+          (1000. *. r.Spdistal_baselines.Common.time)
+          iters);
     finish_trace trace trace_out metrics_out;
     0
   in
@@ -177,7 +209,8 @@ let run_cmd =
     Term.(
       const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
       $ cols_arg $ domains_arg $ fault_seed_arg $ fault_rate_arg
-      $ max_retries_arg $ trace_out_arg $ metrics_out_arg)
+      $ max_retries_arg $ trace_out_arg $ metrics_out_arg $ iterations_arg
+      $ no_cache_arg)
 
 (* The SpDISTAL problem of one kernel cell (shared by show and prof). *)
 let problem_for ~kernel ~machine ~cols b =
@@ -192,7 +225,7 @@ let problem_for ~kernel ~machine ~cols b =
 
 let prof_cmd =
   let f kernel dataset pieces gpu cols domains fseed frate fretries trace_out
-      metrics_out =
+      metrics_out iterations no_cache =
     set_domains domains;
     set_faults fseed frate fretries;
     let b = load_dataset dataset in
@@ -202,7 +235,9 @@ let prof_cmd =
     let problem = problem_for ~kernel ~machine ~cols b in
     let trace = Trace.create () in
     Trace.set_meta trace "dataset" dataset;
-    let r = Core.Spdistal.run ~trace problem in
+    let r =
+      Core.Spdistal.run ~trace ?iterations ~cache:(not no_cache) problem
+    in
     (match r.Core.Spdistal.dnc with
     | Some reason -> Printf.printf "DNC: %s\n" reason
     | None ->
@@ -222,7 +257,7 @@ let prof_cmd =
     Term.(
       const f $ kernel_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg
       $ domains_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ trace_out_arg $ metrics_out_arg $ iterations_arg $ no_cache_arg)
 
 let trace_check_cmd =
   let file_arg =

@@ -48,11 +48,27 @@ val compile : ?trace:Spdistal_obs.Trace.t -> problem -> Loop_ir.prog
 (** Render the compiled program as paper-style pseudo-code. *)
 val show : problem -> string
 
+(** How one warm-start iteration obtained its launch plan: [`Miss] built and
+    cached it (paying dependent partitioning), [`Hit] reused the cache for
+    free, [`Uncached] rebuilt it with caching disabled (paying every time). *)
+type cache_status = [ `Hit | `Miss | `Uncached ]
+
+type iter_stat = {
+  it_index : int;
+  it_cache : cache_status;
+  it_cost : Cost.t;
+      (** this iteration's cost delta; [it_cost.partitioning] is non-zero
+          exactly when the iteration was cold *)
+}
+
 type run_result = {
   cost : Cost.t;  (** simulated time of one timed iteration *)
   dnc : string option;
       (** [Some reason] when the run OOMed or fault recovery was exhausted
           (a DNC cell) *)
+  iters : iter_stat list;
+      (** per-iteration statistics of a warm-start ([?iterations]) run, in
+          iteration order; empty on the legacy single-shot protocol *)
 }
 
 (** Execute one timed iteration: materializes data distributions, runs the
@@ -71,17 +87,64 @@ type run_result = {
     [trace] (default {!Spdistal_obs.Trace.default}) records the whole run:
     compile/placement phase spans on the host clock and every runtime event
     on the simulated clock (see {!Spdistal_exec.Interp.run}).  Tracing never
-    changes outputs or cost. *)
+    changes outputs or cost.
+
+    [iterations] switches to the {e warm-start protocol}: a fresh
+    {!Context} executes the kernel [n] times end-to-end.  The cold first
+    iteration pays dependent partitioning (charged into
+    [cost.partitioning]); warm iterations reuse the cached partitions,
+    placements and lowered program for the price of the index launches
+    alone — Legion's amortization for iterative solvers.  [cache] (default
+    true; the CLI's [--no-cache]) disables the cache, so {e every}
+    iteration rebuilds and pays — the uncached baseline of the amortization
+    curve.  Outputs and per-iteration launch costs are bit-identical with
+    and without the cache; the output operand is restored to its pristine
+    state before each iteration after the first, so the final outputs equal
+    a single application's. *)
 val run :
   ?uvm:bool ->
   ?domains:int ->
   ?faults:Fault.config ->
   ?trace:Spdistal_obs.Trace.t ->
+  ?iterations:int ->
+  ?cache:bool ->
   problem ->
   run_result
 
 (** Simulated seconds, or [None] on DNC. *)
 val time_of : run_result -> float option
+
+(** Warm-start execution contexts: the cache-carrying handle behind
+    [run ?iterations].  Create one per problem and call {!Context.run}
+    repeatedly to keep partitions warm {e across} calls (the first call's
+    first iteration is the only cold one, until a fault invalidates). *)
+module Context : sig
+  type ctx
+
+  (** [create ?cache p] snapshots [p]'s output operand and allocates the
+      partition/kernel cache ([cache] defaults to true; [false] = always
+      rebuild, the [--no-cache] baseline). *)
+  val create : ?cache:bool -> problem -> ctx
+
+  (** Hit/miss/invalidation counters, [None] when caching is disabled. *)
+  val cache_stats : ctx -> Spdistal_exec.Cache.stats option
+
+  (** Execute [iterations] (default 1) warm-start iterations; see
+      {!Spdistal.run}'s [?iterations] documentation.  Each iteration [i]
+      draws fault coordinates at launch indices [i * launches-per-iteration
+      ..], identical with and without the cache; a node crash invalidates
+      the cached entry (validating surviving slots via
+      {!Spdistal_exec.Placement.remap_piece}), so the next iteration
+      re-partitions and is charged for it. *)
+  val run :
+    ?uvm:bool ->
+    ?domains:int ->
+    ?faults:Fault.config ->
+    ?trace:Spdistal_obs.Trace.t ->
+    ?iterations:int ->
+    ctx ->
+    run_result
+end
 
 (** Bindings view of a problem's operands (for validation in tests). *)
 val bindings : problem -> Operand.bindings

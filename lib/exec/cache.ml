@@ -1,0 +1,189 @@
+(* The execution-context cache: Legion's amortization trick for iterative
+   workloads.  Dependent partitioning, piece placement and lowering are pure
+   functions of (index notation, operand formats and sparsity structure,
+   data-distribution notation, schedule, machine); an iterative solver runs
+   the same kernel over the same partitions hundreds of times, so the
+   runtime pays those analyses once and replays the cached launch plan on
+   every subsequent iteration.  Entries are keyed by a structural digest of
+   exactly those inputs; a node crash invalidates the entry (its placements
+   name dead slots), forcing a re-partition on the next iteration. *)
+
+open Spdistal_runtime
+open Spdistal_ir
+
+type entry = {
+  e_key : string;
+  e_placement : Placement.t;
+  e_prog : Loop_ir.prog;
+  e_penv : Part_eval.env;
+  e_loops : Loop_ir.stmt list;
+      (** the program's distributed loops, as returned by
+          {!Part_eval.eval_partitions} over [e_penv] *)
+  e_launches : int;  (** per-iteration launch stride: [List.length e_loops] *)
+  e_part_seconds : float;
+  e_part_ops : int;
+  e_part_elems : int;
+  mutable e_hits : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* insertion order, oldest last; for eviction *)
+  cap : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ?(cap = 64) () =
+  {
+    tbl = Hashtbl.create 16;
+    order = [];
+    cap = max cap 1;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Keying                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the structural (pattern) arrays of a sparse operand.  The
+   partitions an entry caches depend on the coordinate structure — not on
+   the stored values, which an iterative application is free to update
+   between launches (that is the whole point of warm starts). *)
+let fnv_prime = 0x100000001b3L
+let fnv1a h i = Int64.mul (Int64.logxor h (Int64.of_int i)) fnv_prime
+
+let hash_ints a = Array.fold_left fnv1a 0xcbf29ce484222325L a
+
+let hash_pairs a =
+  Array.fold_left (fun h (lo, hi) -> fnv1a (fnv1a h lo) hi) 0xcbf29ce484222325L a
+
+let data_fingerprint buf data =
+  let open Spdistal_formats in
+  match data with
+  | Operand.Vec v -> Buffer.add_string buf (Printf.sprintf "vec:%d" v.Dense.n)
+  | Operand.Mat m ->
+      Buffer.add_string buf (Printf.sprintf "mat:%dx%d" m.Dense.rows m.Dense.cols)
+  | Operand.Sparse t ->
+      Buffer.add_string buf "sparse:";
+      Array.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%d," d)) t.Tensor.dims;
+      Buffer.add_char buf '/';
+      Array.iter
+        (fun d -> Buffer.add_string buf (Printf.sprintf "%d," d))
+        t.Tensor.mode_order;
+      Array.iter
+        (fun l ->
+          match l with
+          | Level.Dense { dim } -> Buffer.add_string buf (Printf.sprintf ";D%d" dim)
+          | Level.Compressed { pos; crd } ->
+              Buffer.add_string buf
+                (Printf.sprintf ";C%Lx:%Lx"
+                   (hash_pairs pos.Region.data)
+                   (hash_ints crd.Region.data))
+          | Level.Singleton { crd } ->
+              Buffer.add_string buf
+                (Printf.sprintf ";S%Lx" (hash_ints crd.Region.data)))
+        t.Tensor.levels
+
+let digest ~machine ~operands ~stmt ~schedule =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (match machine.Machine.kind with Machine.Cpu -> "cpu[" | Machine.Gpu -> "gpu[");
+  Array.iter
+    (fun d -> Buffer.add_string buf (string_of_int d ^ ","))
+    machine.Machine.grid;
+  Buffer.add_string buf "]";
+  (* The params record is immutable floats/ints: Marshal is a canonical,
+     deterministic encoding of its exact values (scaled machines must not
+     collide with unscaled ones). *)
+  Buffer.add_string buf (Digest.to_hex (Digest.string (Marshal.to_string machine.Machine.params [])));
+  Buffer.add_string buf "|tin:";
+  Buffer.add_string buf (Tin.to_string stmt);
+  Buffer.add_string buf "|sched:";
+  Buffer.add_string buf (Schedule.to_string schedule);
+  List.iter
+    (fun (name, (slot : Operand.slot), tdn) ->
+      Buffer.add_string buf "|op:";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      data_fingerprint buf slot.Operand.data;
+      Buffer.add_string buf "@";
+      Buffer.add_string buf (Format.asprintf "%a" (Tdn.pp ~tensor:name) tdn))
+    operands;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model of a cold miss                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each partition materialization / dependent-partitioning query is itself
+   an index launch in Legion, so it pays the machine's launch overhead; the
+   image/preimage/value-range scans additionally stream their region entries
+   (16 B per entry: an 8 B coordinate or pos bound read plus the coloring
+   write) through memory. *)
+let partition_seconds machine (s : Part_eval.stats) =
+  let ops = s.Part_eval.s_parts + s.Part_eval.s_dep_ops in
+  (float_of_int ops *. Machine.launch_overhead machine)
+  +. Machine.compute_time machine ~flops:0.
+       ~bytes:(16. *. float_of_int s.Part_eval.s_dep_elems)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.e_hits <- e.e_hits + 1;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t entry =
+  if not (Hashtbl.mem t.tbl entry.e_key) then begin
+    if Hashtbl.length t.tbl >= t.cap then begin
+      (* Evict the oldest entry (insertion order; entries are cheap to
+         rebuild, the cap only bounds memory). *)
+      match List.rev t.order with
+      | oldest :: _ ->
+          Hashtbl.remove t.tbl oldest;
+          t.order <- List.filter (fun k -> k <> oldest) t.order
+      | [] -> ()
+    end;
+    Hashtbl.replace t.tbl entry.e_key entry;
+    t.order <- entry.e_key :: t.order
+  end
+
+(* A crash killed nodes whose slots the cached placements name: check every
+   piece they hosted still has a surviving slot (raises [Error.Recovery]
+   otherwise, exactly like the in-flight launch would), then drop the entry
+   so the next iteration re-runs dependent partitioning against the
+   shrunken machine — Legion re-derives partitions after a node is lost. *)
+let invalidate t ~machine ~crashed key =
+  (match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun node ->
+          List.iter
+            (fun piece -> ignore (Placement.remap_piece ~machine ~crashed piece))
+            (Machine.pieces_on_node machine node))
+        crashed;
+      Hashtbl.remove t.tbl key;
+      t.order <- List.filter (fun k -> k <> key) t.order);
+  t.invalidations <- t.invalidations + 1
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.tbl;
+  }

@@ -1,0 +1,74 @@
+(** The execution-context cache behind warm-start (iterative) runs.
+
+    SpDISTAL inherits Legion's amortization of dependent partitioning: an
+    iterative solver (CG around SpMV, fig10/fig11) launches the same kernel
+    over the same partitions hundreds of times, so partitioning, placement
+    and lowering run once — on the {e cold miss} — and every later iteration
+    replays the cached launch plan for the price of the index launches
+    alone.
+
+    Keys are structural digests of (tensor index notation, operand formats
+    and sparsity {e structure}, data-distribution notation, schedule,
+    machine).  Stored {e values} of operands are deliberately excluded: an
+    iterative application updates them between launches without changing any
+    partition.  A node crash invalidates the entry (its placements name dead
+    slots); the next iteration re-partitions and pays the cold cost again. *)
+
+open Spdistal_runtime
+open Spdistal_ir
+
+type entry = {
+  e_key : string;
+  e_placement : Placement.t;
+  e_prog : Loop_ir.prog;
+  e_penv : Part_eval.env;  (** materialized partitions *)
+  e_loops : Loop_ir.stmt list;
+      (** the program's distributed loops, as returned by
+          {!Part_eval.eval_partitions} over [e_penv] *)
+  e_launches : int;  (** per-iteration launch stride: [List.length e_loops] *)
+  e_part_seconds : float;
+      (** simulated dependent-partitioning seconds charged on the miss *)
+  e_part_ops : int;
+  e_part_elems : int;
+  mutable e_hits : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+type t
+
+(** [create ?cap ()] — [cap] (default 64) bounds live entries; the oldest is
+    evicted first (entries are cheap to rebuild). *)
+val create : ?cap:int -> unit -> t
+
+(** Structural digest of a problem.  Injective in practice on distinct
+    (tin, formats, tdn, schedule, machine) tuples (an MD5 over a canonical
+    rendering); sparse operands contribute their coordinate structure, dense
+    operands only their shape. *)
+val digest :
+  machine:Machine.t ->
+  operands:(string * Operand.slot * Tdn.t) list ->
+  stmt:Tin.stmt ->
+  schedule:Schedule.t ->
+  string
+
+(** Simulated price of the dependent-partitioning work tallied in [stats]:
+    one launch overhead per partition/query op plus the scanned region
+    entries at memory bandwidth.  Charged by the execution context only on a
+    cold miss. *)
+val partition_seconds : Machine.t -> Part_eval.stats -> float
+
+(** Lookup; counts a hit or a miss. *)
+val find : t -> string -> entry option
+
+(** Insert (no-op if the key is already present). *)
+val add : t -> entry -> unit
+
+(** Drop the entry for [key] after the nodes in [crashed] died: validates
+    that every piece they hosted still has a surviving slot (via
+    {!Placement.remap_piece}; raises {!Spdistal_runtime.Error.Error} with
+    the [Recovery] phase when none survives), then forces the next iteration
+    to re-partition. *)
+val invalidate : t -> machine:Machine.t -> crashed:int list -> string -> unit
+
+val stats : t -> stats

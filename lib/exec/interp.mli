@@ -50,7 +50,13 @@ open Spdistal_runtime
     piece tracks, dependent-partitioning and pool-occupancy spans on the
     host clock, comm-matrix edges and cumulative cost counters.  Tracing
     never changes computed tensors or [cost] — all emission happens on the
-    reducing domain in piece order. *)
+    reducing domain in piece order.
+
+    [prepared] supplies a pre-materialized [(penv, loops)] pair from
+    {!prepare} (e.g. the execution context's cache), skipping partition
+    evaluation; [launch_base] offsets the run's launch indices, so iteration
+    [i] of a warm-start run draws the same fault schedule whether or not its
+    partitions came from the cache. *)
 val run :
   machine:Machine.t ->
   bindings:Operand.bindings ->
@@ -60,8 +66,20 @@ val run :
   ?domains:int ->
   ?faults:Fault.config ->
   ?trace:Spdistal_obs.Trace.t ->
+  ?prepared:Part_eval.env * Spdistal_ir.Loop_ir.stmt list ->
+  ?launch_base:int ->
   Spdistal_ir.Loop_ir.prog ->
   unit
+
+(** Materialize [prog]'s partitions without executing its distributed loops:
+    the [(penv, loops)] pair [run] accepts via [?prepared].  [trace]
+    (default {!Spdistal_obs.Trace.null}) receives the "part_eval" phase
+    span. *)
+val prepare :
+  ?trace:Spdistal_obs.Trace.t ->
+  bindings:Operand.bindings ->
+  Spdistal_ir.Loop_ir.prog ->
+  Part_eval.env * Spdistal_ir.Loop_ir.stmt list
 
 (** Partition-evaluation environment of the last [run], for inspection in
     tests (partitions by name). *)

@@ -72,6 +72,36 @@ let bytes = function
   | Vec v -> Dense.vec_bytes v
   | Mat m -> Dense.mat_bytes m
 
+(* Deep copy of an operand's payload: fresh backing arrays, identical values
+   and structure.  The execution context snapshots the output operand with
+   this so each warm-start iteration can restart from the pristine state and
+   recompute exactly what a single application computes. *)
+let copy_region r =
+  Spdistal_runtime.Region.of_array r.Spdistal_runtime.Region.name
+    (Array.copy r.Spdistal_runtime.Region.data)
+
+let copy_data = function
+  | Vec v -> Vec { v with Dense.data = Array.copy v.Dense.data }
+  | Mat m -> Mat { m with Dense.data = Array.copy m.Dense.data }
+  | Sparse t ->
+      Sparse
+        {
+          t with
+          Tensor.dims = Array.copy t.Tensor.dims;
+          mode_order = Array.copy t.Tensor.mode_order;
+          levels =
+            Array.map
+              (function
+                | Level.Dense _ as l -> l
+                | Level.Compressed { pos; crd } ->
+                    Level.Compressed
+                      { pos = copy_region pos; crd = copy_region crd }
+                | Level.Singleton { crd } ->
+                    Level.Singleton { crd = copy_region crd })
+              t.Tensor.levels;
+          vals = copy_region t.Tensor.vals;
+        }
+
 let meta = function
   | Sparse t ->
       Spdistal_ir.Lower.Sparse_op

@@ -31,6 +31,11 @@ val slice_bytes : data -> int -> float
 (** Total payload bytes of the operand. *)
 val bytes : data -> float
 
+(** Deep copy: fresh backing arrays, identical values and structure.  Used
+    by the execution context to snapshot (and later restore) the output
+    operand across warm-start iterations. *)
+val copy_data : data -> data
+
 (** The {!Spdistal_ir.Lower.env} entry this operand induces. *)
 val meta : data -> Spdistal_ir.Lower.operand
 

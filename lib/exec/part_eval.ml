@@ -14,8 +14,23 @@ type env = {
   colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;
+  mutable dep_elems : int;
+  mutable parts : int;
   trace : Trace.t;
 }
+
+type stats = {
+  mutable s_parts : int;
+  mutable s_dep_ops : int;
+  mutable s_dep_elems : int;
+}
+
+let stats () = { s_parts = 0; s_dep_ops = 0; s_dep_elems = 0 }
+
+let accum_stats s env =
+  s.s_parts <- s.s_parts + env.parts;
+  s.s_dep_ops <- s.s_dep_ops + env.dep_ops;
+  s.s_dep_elems <- s.s_dep_elems + env.dep_elems
 
 let create ?(trace = Trace.null) bindings =
   {
@@ -23,13 +38,18 @@ let create ?(trace = Trace.null) bindings =
     colorings = Hashtbl.create 16;
     partitions = Hashtbl.create 16;
     dep_ops = 0;
+    dep_elems = 0;
+    parts = 0;
     trace;
   }
 
 (* A dependent-partitioning operation (the paper's image/preimage/value-range
-   queries): counted always, timed on the host clock when tracing. *)
-let dep_op env name f =
+   queries): counted always — [elems] is the number of region entries the op
+   scans, the basis of its simulated price — and timed on the host clock when
+   tracing. *)
+let dep_op env name ~elems f =
   env.dep_ops <- env.dep_ops + 1;
+  env.dep_elems <- env.dep_elems + elems;
   Trace.with_wall_span env.trace
     ~track:(Trace.Host (Domain.self () :> int))
     ~cat:"dep" ~name f
@@ -118,16 +138,17 @@ let eval_pexpr env = function
         | _ -> Error.fail Error.Partition_eval "value ranges need a crd region"
       in
       let bounds, axis = coloring_bounds env coloring in
-      dep_op env "by_value_ranges" (fun () ->
-          Partition.by_value_ranges ~axis ~values:crd (rref_ispace env target)
-            bounds)
+      let tgt = rref_ispace env target in
+      dep_op env "by_value_ranges" ~elems:(Iset.cardinal tgt) (fun () ->
+          Partition.by_value_ranges ~axis ~values:crd tgt bounds)
   | Loop_ir.Image_range { pos; part; target } ->
       let posr =
         match pos with
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "image needs a pos region"
       in
-      dep_op env "image_range" (fun () ->
+      dep_op env "image_range" ~elems:(Iset.cardinal posr.Region.ispace)
+        (fun () ->
           Dependent.image_ranges posr (find_partition env part)
             (rref_ispace env target))
   | Loop_ir.Preimage_range { pos; part } ->
@@ -136,15 +157,16 @@ let eval_pexpr env = function
         | Loop_ir.Pos_r (t, k) -> Tensor.pos_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "preimage needs a pos region"
       in
-      dep_op env "preimage_range" (fun () ->
-          Dependent.preimage_ranges posr (find_partition env part))
+      dep_op env "preimage_range" ~elems:(Iset.cardinal posr.Region.ispace)
+        (fun () -> Dependent.preimage_ranges posr (find_partition env part))
   | Loop_ir.Image_values { crd; part; target } ->
       let crdr =
         match crd with
         | Loop_ir.Crd_r (t, k) -> Tensor.crd_of (sparse env t) k
         | _ -> Error.fail Error.Partition_eval "imageValues needs a crd region"
       in
-      dep_op env "image_values" (fun () ->
+      dep_op env "image_values" ~elems:(Iset.cardinal crdr.Region.ispace)
+        (fun () ->
           Dependent.image_values crdr (find_partition env part)
             (rref_ispace env target))
   | Loop_ir.Copy_part p -> find_partition env p
@@ -193,6 +215,7 @@ let rec eval_stmt env = function
   | Loop_ir.Coloring_entry _ ->
       Error.fail Error.Partition_eval "coloring entry outside a color loop"
   | Loop_ir.Def_partition { pname; expr } ->
+      env.parts <- env.parts + 1;
       Hashtbl.replace env.partitions pname (eval_pexpr env expr)
   | Loop_ir.Distributed_for _ ->
       Error.fail Error.Partition_eval "distributed loop reached partition evaluator"

@@ -20,9 +20,27 @@ type env = {
   colorings : (string, coloring_state) Hashtbl.t;
   partitions : (string, Partition.t) Hashtbl.t;
   mutable dep_ops : int;  (** dependent-partitioning operations executed *)
+  mutable dep_elems : int;
+      (** total region entries scanned by dependent-partitioning ops — the
+          work the cost model prices on a cold cache miss *)
+  mutable parts : int;  (** partitions materialized ([Def_partition]s run) *)
   trace : Spdistal_obs.Trace.t;
       (** sink for host-clock spans around dependent-partitioning ops *)
 }
+
+(** Partitioning-work tally accumulated across the environments one problem
+    setup creates (placement lowering + the main program), consumed by the
+    execution context's partitioning cost model. *)
+type stats = {
+  mutable s_parts : int;
+  mutable s_dep_ops : int;
+  mutable s_dep_elems : int;
+}
+
+val stats : unit -> stats
+
+(** Fold [env]'s counters into the tally. *)
+val accum_stats : stats -> env -> unit
 
 (** [create ?trace bindings] — [trace] (default
     {!Spdistal_obs.Trace.null}) receives one host-clock "dep" span per

@@ -12,7 +12,7 @@ type t = (string * residency) list
 let find t name =
   match List.assoc_opt name t with Some r -> r | None -> Not_resident
 
-let of_tdn ~machine ~bindings name tdn =
+let of_tdn ?stats ~machine ~bindings name tdn =
   match ((Operand.find bindings name).Operand.data, tdn) with
   | _, Tdn.Replicated -> Replicated_everywhere
   | Operand.Vec _, Tdn.Blocked _ ->
@@ -60,6 +60,7 @@ let of_tdn ~machine ~bindings name tdn =
       in
       let penv = Part_eval.create bindings in
       ignore (Part_eval.eval_partitions penv prog);
+      Option.iter (fun s -> Part_eval.accum_stats s penv) stats;
       Vals_partitioned (Part_eval.find_partition penv (name ^ "ValsPart"))
   | (Operand.Vec _ | Operand.Mat _), _ ->
       Error.fail ~kernel:name Error.Placement "unsupported dense distribution"

@@ -22,8 +22,11 @@ val find : t -> string -> residency
 
 (** Materialize a TDN declaration for one operand into its residency on the
     given machine, by lowering the TDN's partitioning program and executing
-    it (paper §V-C).  For [Tdn.Replicated] no program runs. *)
+    it (paper §V-C).  For [Tdn.Replicated] no program runs.  [stats]
+    accumulates the dependent-partitioning work this lowering performed, for
+    the execution context's cold-miss cost model. *)
 val of_tdn :
+  ?stats:Part_eval.stats ->
   machine:Machine.t -> bindings:Operand.bindings -> string -> Spdistal_ir.Tdn.t ->
   residency
 

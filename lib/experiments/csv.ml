@@ -90,6 +90,31 @@ let faults rows =
     rows;
   Buffer.contents b
 
+type amort_row = {
+  a_kernel : string;
+  a_system : string;
+  a_iterations : int;
+  a_cached : bool;
+  a_seconds : float option;  (** [None] = DNC *)
+  a_iter1 : float option;  (** cold first-iteration seconds (SpDISTAL only) *)
+  a_warm : float option;  (** mean warm-iteration seconds (SpDISTAL only) *)
+  a_hits : int;
+  a_misses : int;
+}
+
+let amortization rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "kernel,system,iterations,cached,seconds,iter1_seconds,warm_mean_seconds,cache_hits,cache_misses\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%b,%s,%s,%s,%d,%d\n" r.a_kernel r.a_system
+           r.a_iterations r.a_cached (time_cell r.a_seconds)
+           (time_cell r.a_iter1) (time_cell r.a_warm) r.a_hits r.a_misses))
+    rows;
+  Buffer.contents b
+
 let write_file ~dir name contents =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir name in
@@ -99,6 +124,9 @@ let write_file ~dir name contents =
   path
 
 let write_faults ~dir rows = write_file ~dir "faults.csv" (faults rows)
+
+let write_amortization ~dir rows =
+  write_file ~dir "amortization.csv" (amortization rows)
 
 let write_all ~dir ~fig10:c10 ~fig11:c11 ~fig12:c12 ~fig13:c13 =
   [

@@ -22,9 +22,30 @@ type fault_row = {
 
 val faults : fault_row list -> string
 
+(** One point of the iterative-launch amortization curve: a kernel run for
+    [a_iterations] iterations on one system, with the SpDISTAL cold/warm
+    split when the warm-start context produced per-iteration stats. *)
+type amort_row = {
+  a_kernel : string;
+  a_system : string;
+  a_iterations : int;
+  a_cached : bool;  (** false = [--no-cache]: partitions rebuilt per iteration *)
+  a_seconds : float option;  (** [None] = DNC *)
+  a_iter1 : float option;  (** cold first-iteration seconds (SpDISTAL only) *)
+  a_warm : float option;  (** mean warm-iteration seconds (SpDISTAL only) *)
+  a_hits : int;
+  a_misses : int;
+}
+
+val amortization : amort_row list -> string
+
 (** [write_faults ~dir rows] writes faults.csv under [dir] (created if
     missing) and returns the path. *)
 val write_faults : dir:string -> fault_row list -> string
+
+(** [write_amortization ~dir rows] writes amortization.csv under [dir]
+    (created if missing) and returns the path. *)
+val write_amortization : dir:string -> amort_row list -> string
 
 (** [write_all ~dir ...] writes fig10.csv .. fig13.csv under [dir] (created
     if missing) and returns the paths. *)

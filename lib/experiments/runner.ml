@@ -64,7 +64,8 @@ let of_spdistal (res : S.run_result) =
   | Some reason -> Common.dnc ("SpDISTAL: " ^ reason)
   | None -> Common.ok (Cost.total res.S.cost)
 
-let run_spdistal ~kernel ~machine ~cols ?(batched = false) b =
+let run_spdistal ~kernel ~machine ~cols ?(batched = false) ?iterations
+    ?(cache = true) b =
   let gpu = machine.Machine.kind = Machine.Gpu in
   let problem =
     match kernel with
@@ -79,11 +80,19 @@ let run_spdistal ~kernel ~machine ~cols ?(batched = false) b =
     | Spttv -> K.spttv_problem ~machine ~nonzero_dist:gpu b
     | Mttkrp -> K.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu b
   in
-  of_spdistal (S.run problem)
+  of_spdistal (S.run ?iterations ~cache problem)
 
-let run ~kernel ~system ~machine ?(cols = 32) b =
+(* Baseline systems have no partition cache: an N-iteration solve re-pays
+   the full launch (scatter + compute) every iteration, so the simulated
+   time scales linearly (PETSc re-runs its VecScatter per MatMult). *)
+let scale_iterations iterations (r : Common.result) =
+  match (iterations, r.Common.dnc) with
+  | Some n, None when n > 1 -> { r with Common.time = r.Common.time *. float_of_int n }
+  | _ -> r
+
+let run ~kernel ~system ~machine ?(cols = 32) ?iterations ?(cache = true) b =
   match system with
-  | Spdistal -> run_spdistal ~kernel ~machine ~cols b
+  | Spdistal -> run_spdistal ~kernel ~machine ~cols ?iterations ~cache b
   | Spdistal_cpu_leaf ->
       (* SpDISTAL's CPU kernel on the same number of nodes (paper Fig. 11/12
          compare against "SpDISTAL's CPU kernel using all the resources on a
@@ -93,11 +102,14 @@ let run ~kernel ~system ~machine ?(cols = 32) b =
         | Machine.Cpu -> Machine.pieces machine
         | Machine.Gpu -> Machine.nodes machine
       in
-      run_spdistal ~kernel ~machine:(cpu_machine ~nodes) ~cols b
+      run_spdistal ~kernel ~machine:(cpu_machine ~nodes) ~cols ?iterations
+        ~cache b
   | Spdistal_batched ->
       if kernel <> Spmm then Common.dnc "batched schedule is SpMM-only"
-      else run_spdistal ~kernel ~machine ~cols ~batched:true b
-  | Petsc -> (
+      else run_spdistal ~kernel ~machine ~cols ~batched:true ?iterations ~cache b
+  | Petsc ->
+      scale_iterations iterations
+      @@ (
       match kernel with
       | Spmv ->
           let x = K.dense_vec "x" b.Tensor.dims.(1)
@@ -113,7 +125,9 @@ let run ~kernel ~system ~machine ?(cols = 32) b =
           snd (Petsc.spadd3 ~machine b c d)
       | Sddmm | Spttv | Mttkrp ->
           Common.dnc ("PETSc: " ^ kernel_name kernel ^ " unsupported"))
-  | Trilinos -> (
+  | Trilinos ->
+      scale_iterations iterations
+      @@ (
       match kernel with
       | Spmv ->
           let x = K.dense_vec "x" b.Tensor.dims.(1)
@@ -129,7 +143,9 @@ let run ~kernel ~system ~machine ?(cols = 32) b =
           snd (Trilinos.spadd3 ~machine b c d)
       | Sddmm | Spttv | Mttkrp ->
           Common.dnc ("Trilinos: " ^ kernel_name kernel ^ " unsupported"))
-  | Ctf -> (
+  | Ctf ->
+      scale_iterations iterations
+      @@ (
       if machine.Machine.kind = Machine.Gpu then
         Common.dnc "CTF: no usable GPU backend"
       else

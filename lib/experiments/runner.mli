@@ -34,12 +34,20 @@ val gpu_machine : gpus:int -> Machine.t
 
 (** [run ~kernel ~system ~machine tensor] executes one cell: real numerics,
     simulated time.  [cols] is the dense width for SpMM/SDDMM/MTTKRP
-    (default 32).  Trilinos GPU runs use UVM. *)
+    (default 32).  Trilinos GPU runs use UVM.
+
+    [iterations] switches the cell to the iterative protocol: SpDISTAL
+    systems run through the warm-start execution context (partitions are
+    computed on the first iteration and cached; [cache:false] rebuilds them
+    every iteration), while baseline systems re-pay their full launch each
+    iteration, so their time scales linearly. *)
 val run :
   kernel:kernel ->
   system:system ->
   machine:Machine.t ->
   ?cols:int ->
+  ?iterations:int ->
+  ?cache:bool ->
   Tensor.t ->
   Spdistal_baselines.Common.result
 

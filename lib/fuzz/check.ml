@@ -34,7 +34,7 @@ type exec_result =
 
 let exec ?(domains = 1) ?(faults = Fault.disabled) p =
   match Spdistal.run ~domains ~faults p with
-  | { cost; dnc = None } -> Ran cost
+  | { cost; dnc = None; _ } -> Ran cost
   | { dnc = Some reason; _ } -> Dnc reason
   | exception Invalid_argument m -> Rejected m
   | exception Error.Error e -> (

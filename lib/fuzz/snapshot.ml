@@ -15,7 +15,8 @@ type data_snap =
 
 type t =
   | Outputs of (string * data_snap) list
-  | Cost_sig of (int64 * int64 * int64 * int64 * int64 * int * int * int64)
+  | Cost_sig of
+      (int64 * int64 * int64 * int64 * int64 * int * int * int64 * int64 * int)
 
 let bits = Array.map Int64.bits_of_float
 
@@ -50,6 +51,8 @@ let cost (c : Cost.t) =
       Int64.bits_of_float c.Cost.bytes_moved,
       c.Cost.messages,
       c.Cost.launches,
-      Int64.bits_of_float c.Cost.flops )
+      Int64.bits_of_float c.Cost.flops,
+      Int64.bits_of_float c.Cost.partitioning,
+      c.Cost.part_ops )
 
 let equal (a : t) (b : t) = a = b

@@ -120,27 +120,36 @@ let to_json t =
               (Printf.sprintf "domain %d" d)
             :: !metas)
     tracks;
-  (* Group span events per track and sort each track by start time, so the
-     file satisfies the monotone-per-track property the validator checks
-     (host-domain spans are emitted in piece order, not time order). *)
+  (* Group events per track and sort each track by start time, so the file
+     satisfies the monotone-per-track property the validator checks
+     (host-domain spans are emitted in piece order, not time order, and
+     retro-dated iteration/cache spans land after the launches they cover).
+     Counter samples share the runtime track and must merge into the same
+     time order. *)
+  let tagged =
+    List.map
+      (fun (sp : Trace.span) ->
+        (track_ids sp.Trace.sp_track, sp.Trace.sp_start, span_event sp))
+      spans
+    @ List.map
+        (fun (c : Trace.counter) ->
+          ((pid_runtime, 0), c.Trace.ct_time, counter_event c))
+        (Trace.counters t)
+  in
   let by_track = Hashtbl.create 16 in
   List.iter
-    (fun (sp : Trace.span) ->
-      let key = track_ids sp.Trace.sp_track in
+    (fun ((key, _, _) as ev) ->
       let cur = try Hashtbl.find by_track key with Not_found -> [] in
-      Hashtbl.replace by_track key (sp :: cur))
-    spans;
+      Hashtbl.replace by_track key (ev :: cur))
+    tagged;
   let track_events =
-    Hashtbl.fold (fun key sps acc -> (key, List.rev sps) :: acc) by_track []
-    |> List.sort compare
-    |> List.concat_map (fun (_, sps) ->
-           List.stable_sort
-             (fun (a : Trace.span) b -> compare a.Trace.sp_start b.Trace.sp_start)
-             sps
-           |> List.map span_event)
+    Hashtbl.fold (fun key evs acc -> (key, List.rev evs) :: acc) by_track []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.concat_map (fun (_, evs) ->
+           List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b) evs
+           |> List.map (fun (_, _, ev) -> ev))
   in
-  let counter_events = List.map counter_event (Trace.counters t) in
-  let events = List.rev !metas @ track_events @ counter_events in
+  let events = List.rev !metas @ track_events in
   let other =
     ("tool", "spdistal") :: Trace.meta t
     |> List.map (fun (k, v) -> jstr k ^ ":" ^ jstr v)

@@ -22,12 +22,24 @@ type node_util = {
   n_compute : float;
 }
 
+type iter_row = {
+  ir_index : int;
+  ir_cache : string;  (** "hit" | "miss" | "bypass" *)
+  ir_start : float;
+  ir_dur : float;
+  ir_partition : float;
+}
+
 type t = {
   r_total : float;
   r_launches : launch list;
   r_nodes : node_util list;
   r_comm : float array array;
   r_imbalance : float;
+  r_iterations : iter_row list;
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_cache_invalidations : int;
   r_host_wall : float;
   r_host_busy : (int * float) list;
   r_meta : (string * string) list;
@@ -41,6 +53,9 @@ let arg_f args k =
   | Some (Trace.F f) -> f
   | Some (Trace.I i) -> float_of_int i
   | _ -> 0.
+
+let arg_s args k =
+  match List.assoc_opt k args with Some (Trace.S s) -> s | _ -> ""
 
 (* Interpolated percentile of an unsorted sample ([p] in [0, 100]). *)
 let percentile p xs =
@@ -157,12 +172,42 @@ let of_trace tr =
         else acc)
       1. launches
   in
+  (* Warm-start runs: one "iteration" span per iteration and zero-duration
+     "cache" instants (hit/miss/invalidate), all on the runtime spine. *)
+  let iterations =
+    List.filter_map
+      (fun (sp : Trace.span) ->
+        if sp.Trace.sp_track = Trace.Runtime && sp.Trace.sp_cat = "iteration"
+        then
+          Some
+            {
+              ir_index = arg_i sp.Trace.sp_args "iteration";
+              ir_cache = arg_s sp.Trace.sp_args "cache";
+              ir_start = sp.Trace.sp_start;
+              ir_dur = sp.Trace.sp_dur;
+              ir_partition = arg_f sp.Trace.sp_args "partition_seconds";
+            }
+        else None)
+      spans
+    |> List.sort (fun a b -> compare a.ir_index b.ir_index)
+  in
+  let cache_count name =
+    List.length
+      (List.filter
+         (fun (sp : Trace.span) ->
+           sp.Trace.sp_cat = "cache" && sp.Trace.sp_name = name)
+         spans)
+  in
   {
     r_total = total;
     r_launches = launches;
     r_nodes = nodes;
     r_comm = Trace.comm_matrix tr;
     r_imbalance = imbalance;
+    r_iterations = iterations;
+    r_cache_hits = cache_count "cache_hit";
+    r_cache_misses = cache_count "cache_miss";
+    r_cache_invalidations = cache_count "cache_invalidate";
     r_host_wall = (if !host_hi > !host_lo then !host_hi -. !host_lo else 0.);
     r_host_busy =
       Hashtbl.fold (fun d b acc -> (d, b) :: acc) host_busy []
@@ -190,6 +235,20 @@ let pp fmt t =
     t.r_meta;
   fprintf fmt "simulated total: %.6fs over %d launch(es)@\n" t.r_total
     (List.length t.r_launches);
+  if t.r_iterations <> [] then begin
+    fprintf fmt
+      "@\namortization by iteration (cache: %d hit(s), %d miss(es), %d \
+       invalidation(s)):@\n"
+      t.r_cache_hits t.r_cache_misses t.r_cache_invalidations;
+    fprintf fmt "  %4s %-7s %12s %14s %14s@\n" "#" "cache" "total(s)"
+      "partition(s)" "launches(s)";
+    List.iter
+      (fun ir ->
+        fprintf fmt "  %4d %-7s %12.6f %14.6f %14.6f@\n" ir.ir_index
+          ir.ir_cache ir.ir_dur ir.ir_partition
+          (ir.ir_dur -. ir.ir_partition))
+      t.r_iterations
+  end;
   fprintf fmt "@\ncritical path by launch:@\n";
   fprintf fmt
     "  %3s %-14s %10s %10s %10s %10s %5s %10s %8s %10s %10s@\n" "#" "kernel"

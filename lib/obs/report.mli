@@ -30,12 +30,28 @@ type node_util = {
   n_compute : float;  (** busy simulated seconds in leaves *)
 }
 
+(** One warm-start iteration, read back from the execution context's
+    "iteration" spans: how its launch plan was obtained and where its time
+    went ([ir_partition] is non-zero exactly on cold iterations). *)
+type iter_row = {
+  ir_index : int;
+  ir_cache : string;  (** "hit" | "miss" | "bypass" (caching disabled) *)
+  ir_start : float;
+  ir_dur : float;
+  ir_partition : float;
+}
+
 type t = {
   r_total : float;  (** simulated seconds (== [Cost.total]) *)
   r_launches : launch list;  (** in execution order *)
   r_nodes : node_util list;  (** ascending node id *)
   r_comm : float array array;  (** [src.(dst)] bytes between simulated nodes *)
   r_imbalance : float;  (** worst per-launch max/mean piece-time ratio *)
+  r_iterations : iter_row list;
+      (** warm-start iterations in order; empty on single-shot runs *)
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_cache_invalidations : int;
   r_host_wall : float;  (** wall seconds spanned by host-track spans *)
   r_host_busy : (int * float) list;  (** per host domain, busy wall seconds *)
   r_meta : (string * string) list;

@@ -22,10 +22,23 @@ type t = {
   mutable retries : int;  (** fault-recovery re-executions and re-sends *)
   mutable resent_bytes : float;  (** bytes re-transferred by recovery *)
   mutable faults : int;  (** injected fault events recovered from *)
+  mutable partitioning : float;
+      (** simulated seconds of dependent partitioning, charged only on a
+          cold execution-context cache miss (warm iterations reuse the
+          cached partitions and pay nothing) *)
+  mutable part_ops : int;  (** dependent-partitioning operations charged *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Immutable snapshot of the record (a fresh copy; mutating one does not
+    affect the other). *)
+val copy : t -> t
+
+(** [diff after before] — field-wise [after - before], for per-iteration
+    deltas carved out of an aggregate clock. *)
+val diff : t -> t -> t
 
 (** Add sequential (non-overlapped) time of the given breakdown component. *)
 val add_compute : t -> float -> unit
@@ -33,6 +46,11 @@ val add_compute : t -> float -> unit
 val add_comm : t -> ?bytes:float -> ?messages:int -> float -> unit
 val add_overhead : t -> float -> unit
 val add_flops : t -> float -> unit
+
+(** Charge [dt] simulated seconds of dependent partitioning ([ops]
+    operations).  Advances [total]; the execution context calls this only on
+    a cold cache miss. *)
+val add_partitioning : t -> ?ops:int -> float -> unit
 
 (** Book-keep fault-recovery overhead: [dt] simulated seconds of recovery
     work, re-sent [bytes] (also counted into [bytes_moved]) and [messages].

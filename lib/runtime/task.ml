@@ -42,11 +42,18 @@ let leaf_time machine w =
 module Trace = Spdistal_obs.Trace
 
 let index_launch cost machine ?(trace = Trace.null) ?(name = "index_launch")
-    ?faults ?(launch = 0) ?(comm = fun _ -> []) ~work () =
+    ?faults ?(launch = 0) ?(iterations = 1) ?(comm = fun _ -> []) ~work () =
   let fcfg =
     match faults with Some c when Fault.enabled c -> Some c | _ -> None
   in
   let p = Machine.pieces machine in
+  (* Iterative applications of a baseline system replay the whole launch
+     every iteration — there is no partition cache to amortize into (PETSc
+     re-runs its VecScatter per MatMult).  Each repeat advances the launch
+     coordinate so the fault schedule progresses exactly as in a sequence of
+     separate launches. *)
+  for it = 0 to iterations - 1 do
+  let launch = launch + it in
   let t0 = Cost.total cost in
   let piece_times = Array.make p 0. in
   let comm_times = Array.make p 0. and lf_times = Array.make p 0. in
@@ -128,3 +135,4 @@ let index_launch cost machine ?(trace = Trace.null) ?(name = "index_launch")
       name;
     Trace.counter trace ~name:"cost" ~time:(Cost.total cost) (Cost.counters cost)
   end
+  done

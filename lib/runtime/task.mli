@@ -36,7 +36,12 @@ val ( ++ ) : work -> work -> work
     piece's track, a "launch" span on the runtime track carrying the
     critical-path breakdown, fault-recovery instants, comm-matrix edges and
     a cumulative cost counter sample.  [name] labels the compute and launch
-    spans. *)
+    spans.
+
+    [iterations] (default 1) replays the launch that many times — the
+    baseline systems' iterative protocol, which re-pays communication and
+    overhead every iteration (no partition cache to amortize into).  Repeat
+    [k] uses fault-schedule coordinate [launch + k]. *)
 val index_launch :
   Cost.t ->
   Machine.t ->
@@ -44,6 +49,7 @@ val index_launch :
   ?name:string ->
   ?faults:Fault.config ->
   ?launch:int ->
+  ?iterations:int ->
   ?comm:(int -> transfer list) ->
   work:(int -> work) ->
   unit ->

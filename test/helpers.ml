@@ -108,3 +108,119 @@ let run_ok problem =
    shared with the fuzzer's invariant checks. *)
 let snapshot = Spdistal_fuzz.Snapshot.outputs
 let cost_sig = Spdistal_fuzz.Snapshot.cost
+
+(* Run a problem and check the result against the dense reference evaluator;
+   returns the simulated total. *)
+let run_validated problem =
+  let res = Core.Spdistal.run problem in
+  match res.Core.Spdistal.dnc with
+  | Some r -> Alcotest.fail ("unexpected DNC: " ^ r)
+  | None ->
+      check_float "matches dense reference" 0.
+        (Spdistal_exec.Validate.max_error
+           (Core.Spdistal.bindings problem)
+           problem.Core.Spdistal.stmt);
+      Spdistal_runtime.Cost.total res.Core.Spdistal.cost
+
+(* --- Kernel problem catalogs --------------------------------------------
+   The fig10 kernels (plus batched SpMM on a 2x2 GPU grid) over fixed random
+   operands: shared by the parallel / fault / cache suites, which each used
+   to carry a private copy. *)
+
+let kernel_problems ?(mseed = 71) ?(tseed = 72) ?(cols = 8) ?(batched = true)
+    () =
+  let matrix = rand_csr ~seed:mseed 80 80 0.06 in
+  let tensor = rand_csf ~seed:tseed 24 20 16 0.02 in
+  let cpu = cpu_machine 8 in
+  let gpu2x2 = gpu_machine [| 2; 2 |] in
+  let module K = Core.Kernels in
+  [
+    ("spmv", fun () -> K.spmv_problem ~machine:cpu matrix);
+    ("spmm", fun () -> K.spmm_problem ~machine:cpu ~cols matrix);
+    ("spadd3", fun () -> K.spadd3_problem ~machine:cpu matrix);
+    ("sddmm", fun () -> K.sddmm_problem ~machine:cpu ~cols matrix);
+    ("spttv", fun () -> K.spttv_problem ~machine:cpu tensor);
+    ("mttkrp", fun () -> K.mttkrp_problem ~machine:cpu ~cols tensor);
+  ]
+  @
+  if batched then
+    [
+      ( "spmm-batched",
+        fun () -> K.spmm_problem ~machine:gpu2x2 ~cols ~batched:true matrix );
+    ]
+  else []
+
+(* The nnz-split schedules (deferred-leaf reduction path). *)
+let nnz_kernel_problems ?(mseed = 43) ?(tseed = 44) ?(cols = 8) () =
+  let matrix = rand_csr ~seed:mseed 80 80 0.06 in
+  let tensor = rand_csf ~seed:tseed 24 20 16 0.02 in
+  let cpu = cpu_machine 8 in
+  let module K = Core.Kernels in
+  [
+    ( "spmv-nnz",
+      fun () -> K.spmv_problem ~machine:cpu ~nonzero_dist:true matrix );
+    ( "spttv-nnz",
+      fun () -> K.spttv_problem ~machine:cpu ~nonzero_dist:true tensor );
+    ( "mttkrp-nnz",
+      fun () -> K.mttkrp_problem ~machine:cpu ~cols ~nonzero_dist:true tensor );
+  ]
+
+(* --- Traced runs (obs / cache / golden suites) -------------------------- *)
+
+let blocked_tdn = Spdistal_ir.Tdn.Blocked { tensor_dim = 0; machine_dim = 0 }
+
+(* SpMV with a blocked (mis-distributed) input vector, so every piece
+   gathers remote columns: exercises the comm spans and the comm matrix. *)
+let comm_spmv ?(pieces = 3) ?(seed = 66) () =
+  let open Spdistal_exec in
+  let b = rand_csr ~seed 30 30 0.4 in
+  let a = Dense.vec_create "a" 30 in
+  let c = Dense.vec_init "c" 30 float_of_int in
+  Core.Spdistal.problem ~machine:(cpu_machine pieces)
+    ~operands:
+      [
+        ("a", Operand.vec a, blocked_tdn);
+        ("B", Operand.sparse b, blocked_tdn);
+        ("c", Operand.vec c, blocked_tdn);
+      ]
+    ~stmt:Spdistal_ir.Tin.spmv
+    ~schedule:(Core.Kernels.spmv_row ())
+
+let run_traced ?domains ?faults ?iterations ?cache problem =
+  let trace = Spdistal_obs.Trace.create () in
+  let res =
+    Core.Spdistal.run ?domains ?faults ?iterations ?cache ~trace problem
+  in
+  (res, trace)
+
+let sim_spans trace =
+  let module Trace = Spdistal_obs.Trace in
+  List.filter (fun sp -> sp.Trace.sp_clock = Trace.Sim) (Trace.spans trace)
+
+let launch_spans trace =
+  let module Trace = Spdistal_obs.Trace in
+  List.filter
+    (fun sp -> sp.Trace.sp_track = Trace.Runtime && sp.Trace.sp_cat = "launch")
+    (Trace.spans trace)
+
+(* --- Fault-pair runs ---------------------------------------------------- *)
+
+(* Baseline and faulty runs of one freshly-built problem each; returns
+   (result, outputs) per run. *)
+let run_pair ?domains ~faults make =
+  let base_p = make () in
+  let base =
+    Core.Spdistal.run ?domains ~faults:Spdistal_runtime.Fault.disabled base_p
+  in
+  let fault_p = make () in
+  let faulty = Core.Spdistal.run ?domains ~faults fault_p in
+  ((base, snapshot base_p), (faulty, snapshot fault_p))
+
+(* Fault cost fields, for cross-domain comparison. *)
+let fault_sig (c : Spdistal_runtime.Cost.t) =
+  let open Spdistal_runtime in
+  ( cost_sig c,
+    Int64.bits_of_float c.Cost.recovery,
+    c.Cost.retries,
+    Int64.bits_of_float c.Cost.resent_bytes,
+    c.Cost.faults )

@@ -1,0 +1,338 @@
+(* The execution-context cache (warm-start protocol).
+
+   Load-bearing invariants:
+   - amortization: the cold first iteration pays dependent partitioning,
+     warm iterations are strictly cheaper and hit the cache;
+   - bit-identity: cached and uncached (--no-cache) runs produce bitwise
+     equal outputs and per-iteration launch records, with and without
+     fault injection — the cache may only change WHEN partitioning runs,
+     never what the launches do;
+   - the digest is injective across distinct (tin, formats, tdn, schedule,
+     machine) tuples and insensitive to stored values;
+   - a node crash invalidates the entry, forcing a re-partition (re-paid). *)
+
+open Spdistal_runtime
+open Spdistal_exec
+module S = Core.Spdistal
+module Report = Spdistal_obs.Report
+module Trace = Spdistal_obs.Trace
+
+let iter_totals r = List.map (fun it -> Cost.total it.S.it_cost) r.S.iters
+let statuses r = List.map (fun it -> it.S.it_cache) r.S.iters
+
+(* Everything a launch contributes to the clock except the partitioning
+   charge itself: bitwise equal between cached and uncached runs. *)
+let launch_sig (c : Cost.t) =
+  ( Int64.bits_of_float c.Cost.compute,
+    Int64.bits_of_float c.Cost.comm,
+    Int64.bits_of_float c.Cost.overhead,
+    Int64.bits_of_float c.Cost.bytes_moved,
+    c.Cost.messages,
+    c.Cost.launches,
+    Int64.bits_of_float c.Cost.flops,
+    Int64.bits_of_float c.Cost.recovery,
+    c.Cost.retries,
+    Int64.bits_of_float c.Cost.resent_bytes,
+    c.Cost.faults )
+
+(* ------------------------------------------------------------------ *)
+(* Amortization: cold miss pays, warm hits don't                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_amortization () =
+  let res, trace = Helpers.run_traced ~iterations:4 (Helpers.comm_spmv ()) in
+  Alcotest.(check (option string)) "completes" None res.S.dnc;
+  Alcotest.(check int) "one stat per iteration" 4 (List.length res.S.iters);
+  (match statuses res with
+  | [ `Miss; `Hit; `Hit; `Hit ] -> ()
+  | _ -> Alcotest.fail "expected Miss, Hit, Hit, Hit");
+  (match iter_totals res with
+  | cold :: (warm :: _ as warms) ->
+      Alcotest.(check bool)
+        "cold iteration strictly dearer than warm" true (cold > warm);
+      (* Equal up to accumulator rounding: each warm iteration adds the same
+         dt sequence, but at a different running-sum offset. *)
+      List.iter
+        (fun w -> Helpers.check_float "warm iterations cost the same" warm w)
+        warms
+  | _ -> Alcotest.fail "no iterations");
+  let c = res.S.cost in
+  Alcotest.(check bool) "partitioning charged" true (c.Cost.partitioning > 0.);
+  Alcotest.(check bool) "dep ops counted" true (c.Cost.part_ops > 0);
+  (* Charged exactly once: the whole partitioning column sits in iteration 0. *)
+  (match res.S.iters with
+  | it0 :: rest ->
+      Alcotest.(check bool)
+        "all partitioning in the cold iteration" true
+        (it0.S.it_cost.Cost.partitioning = c.Cost.partitioning);
+      List.iter
+        (fun it ->
+          Alcotest.(check (float 0.)) "warm iterations pay nothing" 0.
+            it.S.it_cost.Cost.partitioning)
+        rest
+  | [] -> Alcotest.fail "no iterations");
+  (* The trace carries the hit/miss instants and the partition span. *)
+  let spans cat name =
+    List.filter
+      (fun sp ->
+        sp.Trace.sp_track = Trace.Runtime
+        && sp.Trace.sp_cat = cat && sp.Trace.sp_name = name)
+      (Trace.spans trace)
+  in
+  Alcotest.(check int) "one cache_miss instant" 1 (List.length (spans "cache" "cache_miss"));
+  Alcotest.(check int) "three cache_hit instants" 3 (List.length (spans "cache" "cache_hit"));
+  Alcotest.(check int)
+    "one dependent_partitioning span" 1
+    (List.length (spans "partition" "dependent_partitioning"));
+  Alcotest.(check int) "four iteration spans" 4 (List.length (spans "iteration" "iteration"));
+  (* And the report reads them back. *)
+  let r = Report.of_trace trace in
+  Alcotest.(check int) "report iterations" 4 (List.length r.Report.r_iterations);
+  Alcotest.(check int) "report hits" 3 r.Report.r_cache_hits;
+  Alcotest.(check int) "report misses" 1 r.Report.r_cache_misses;
+  List.iter
+    (fun ir ->
+      if ir.Report.ir_index = 0 then
+        Alcotest.(check bool) "cold row pays partitioning" true (ir.Report.ir_partition > 0.)
+      else
+        Alcotest.(check (float 0.)) "warm rows pay nothing" 0. ir.Report.ir_partition)
+    r.Report.r_iterations
+
+let test_no_cache_repays_every_iteration () =
+  let res, _ = Helpers.run_traced ~iterations:4 ~cache:false (Helpers.comm_spmv ()) in
+  Alcotest.(check (option string)) "completes" None res.S.dnc;
+  Alcotest.(check bool)
+    "every iteration bypasses the cache" true
+    (List.for_all (fun s -> s = `Uncached) (statuses res));
+  (match iter_totals res with
+  | t0 :: rest ->
+      List.iter
+        (fun t ->
+          Helpers.check_float
+            "uncached iterations all cost the same (partitioning re-paid)" t0 t)
+        rest
+  | [] -> Alcotest.fail "no iterations");
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        "each uncached iteration pays partitioning" true
+        (it.S.it_cost.Cost.partitioning > 0.))
+    res.S.iters
+
+let test_legacy_protocol_unchanged () =
+  (* No [iterations]: the single-shot path, no cache, no partitioning column,
+     no per-iteration stats — byte-compatible with the seed protocol. *)
+  let r = S.run (Helpers.comm_spmv ()) in
+  Alcotest.(check (option string)) "completes" None r.S.dnc;
+  Alcotest.(check bool) "no iteration stats" true (r.S.iters = []);
+  Alcotest.(check (float 0.)) "no partitioning charged" 0. r.S.cost.Cost.partitioning;
+  Alcotest.(check int) "no dep ops charged" 0 r.S.cost.Cost.part_ops;
+  (* A warm iteration's launch work equals the legacy run's whole clock. *)
+  let res, _ = Helpers.run_traced ~iterations:3 (Helpers.comm_spmv ()) in
+  match List.rev (iter_totals res) with
+  | warm :: _ ->
+      Helpers.check_float "warm iteration = legacy total" (Cost.total r.S.cost) warm
+  | [] -> Alcotest.fail "no iterations"
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: cached vs uncached, including under faults            *)
+(* ------------------------------------------------------------------ *)
+
+let check_bit_identity ?faults ~iterations name make =
+  let p_c = make () in
+  let r_c = S.run ?faults ~iterations ~cache:true p_c in
+  let p_u = make () in
+  let r_u = S.run ?faults ~iterations ~cache:false p_u in
+  match (r_c.S.dnc, r_u.S.dnc) with
+  | Some _, Some _ -> true (* recovery exhausted under both: same verdict *)
+  | None, None ->
+      if Helpers.snapshot p_c <> Helpers.snapshot p_u then
+        Alcotest.failf "%s: outputs differ cached vs uncached" name;
+      let sigs r = List.map (fun it -> launch_sig it.S.it_cost) r.S.iters in
+      if sigs r_c <> sigs r_u then
+        Alcotest.failf "%s: per-iteration launch records differ" name;
+      true
+  | _ -> Alcotest.failf "%s: DNC only in one mode" name
+
+let test_bit_identity_under_faults () =
+  (* ISSUE acceptance: 10% fault rate, every kernel, cached and uncached
+     agree bit for bit. *)
+  let faults = Fault.make ~seed:7 ~rate:0.1 () in
+  List.iter
+    (fun (name, make) ->
+      ignore (check_bit_identity ~faults ~iterations:3 name make))
+    (Helpers.kernel_problems ())
+
+let prop_bit_identity =
+  let open QCheck in
+  let arb =
+    make
+      ~print:(fun (s, k, n, rate) ->
+        Printf.sprintf "seed=%d kernel=%d iterations=%d rate=%d%%" s k n rate)
+      Gen.(
+        let* s = int_range 0 1000 in
+        let* k = int_range 0 6 in
+        let* n = int_range 1 4 in
+        let* rate = int_range 0 30 in
+        return (s, k, n, rate))
+  in
+  Helpers.qtest ~count:10 "cached = uncached (outputs, launch records)" arb
+    (fun (seed, k, iterations, rate_pct) ->
+      let name, make = List.nth (Helpers.kernel_problems ()) k in
+      let faults =
+        if rate_pct = 0 then None
+        else Some (Fault.make ~seed ~rate:(float_of_int rate_pct /. 100.) ())
+      in
+      check_bit_identity ?faults ~iterations name make)
+
+(* ------------------------------------------------------------------ *)
+(* Digest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let digest_of (p : S.problem) =
+  Cache.digest ~machine:p.S.machine ~operands:p.S.operands ~stmt:p.S.stmt
+    ~schedule:p.S.schedule
+
+let test_digest_injective () =
+  (* A corpus of pairwise-distinct problems: every fig10 kernel (both
+     distribution schedules), two machine sizes, two sparsity patterns.
+     All digests must differ; rebuilding the same problem must not. *)
+  let catalog mseed tseed =
+    Helpers.kernel_problems ~mseed ~tseed () @ Helpers.nnz_kernel_problems ~mseed ~tseed ()
+  in
+  let corpus =
+    List.map (fun (n, make) -> ("a-" ^ n, digest_of (make ()))) (catalog 71 72)
+    @ List.map (fun (n, make) -> ("b-" ^ n, digest_of (make ()))) (catalog 171 172)
+    @ [
+        ( "spmv-4pieces",
+          digest_of
+            (Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 4)
+               (Helpers.rand_csr ~seed:71 80 80 0.06)) );
+      ]
+  in
+  List.iteri
+    (fun i (ni, di) ->
+      List.iteri
+        (fun j (nj, dj) ->
+          if i < j && di = dj then
+            Alcotest.failf "digest collision: %s = %s" ni nj)
+        corpus)
+    corpus;
+  List.iter
+    (fun (n, make) ->
+      Alcotest.(check string)
+        (n ^ ": digest deterministic across rebuilds")
+        (digest_of (make ())) (digest_of (make ())))
+    (catalog 71 72)
+
+let test_digest_ignores_values () =
+  (* Same sparsity structure, different stored values: the whole point of
+     the cache is that iterative value updates keep the partitions. *)
+  let make () =
+    Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 8)
+      (Helpers.rand_csr ~seed:71 80 80 0.06)
+  in
+  let p = make () in
+  let d0 = digest_of p in
+  (match (Operand.find (S.bindings p) "B").Operand.data with
+  | Operand.Sparse t ->
+      let vals = t.Spdistal_formats.Tensor.vals.Region.data in
+      vals.(0) <- vals.(0) +. 1.
+  | _ -> Alcotest.fail "B is not sparse");
+  Alcotest.(check string) "value update keeps the digest" d0 (digest_of p);
+  (* A different pattern (other seed) changes it. *)
+  let p2 =
+    Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 8)
+      (Helpers.rand_csr ~seed:72 80 80 0.06)
+  in
+  Alcotest.(check bool)
+    "pattern change changes the digest" true
+    (d0 <> digest_of p2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-driven invalidation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_invalidates () =
+  (* Find a deterministic schedule that crashes a node mid-run; the cache
+     must invalidate and the next iteration must re-partition (a second
+     miss, with the partitioning column charged again). *)
+  let exercised =
+    List.exists
+      (fun seed ->
+        let p =
+          Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 8)
+            (Helpers.rand_csr ~seed:71 80 80 0.06)
+        in
+        let ctx = S.Context.create p in
+        let faults = Fault.make ~seed ~crash:0.4 ~retries:50 () in
+        let r = S.Context.run ~faults ~iterations:6 ctx in
+        match (r.S.dnc, S.Context.cache_stats ctx) with
+        | None, Some st when st.Cache.invalidations > 0 ->
+            Alcotest.(check bool)
+              "re-partition after invalidation (>= 2 misses)" true
+              (st.Cache.misses >= 2);
+            let repaid =
+              List.filter
+                (fun it ->
+                  it.S.it_index > 0 && it.S.it_cost.Cost.partitioning > 0.)
+                r.S.iters
+            in
+            Alcotest.(check bool)
+              "a later iteration re-pays partitioning" true (repaid <> []);
+            true
+        | _ -> false)
+      (List.init 32 (fun i -> i + 1))
+  in
+  Alcotest.(check bool)
+    "some seed in 1..32 crashes a node and invalidates" true exercised
+
+(* ------------------------------------------------------------------ *)
+(* Context reuse                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_context_reuse_all_hits () =
+  let p = Helpers.comm_spmv () in
+  let ctx = S.Context.create p in
+  let r1 = S.Context.run ~iterations:2 ctx in
+  Alcotest.(check (option string)) "first run completes" None r1.S.dnc;
+  let out1 = Helpers.snapshot p in
+  (match statuses r1 with
+  | [ `Miss; `Hit ] -> ()
+  | _ -> Alcotest.fail "first run: expected Miss, Hit");
+  let r2 = S.Context.run ~iterations:2 ctx in
+  Alcotest.(check (option string)) "second run completes" None r2.S.dnc;
+  Alcotest.(check bool)
+    "second run is all hits" true
+    (List.for_all (fun s -> s = `Hit) (statuses r2));
+  Alcotest.(check (float 0.)) "second run pays no partitioning" 0.
+    r2.S.cost.Cost.partitioning;
+  Alcotest.(check bool)
+    "reused context computes the same outputs" true
+    (Helpers.snapshot p = out1);
+  match S.Context.cache_stats ctx with
+  | Some st ->
+      Alcotest.(check int) "one live entry" 1 st.Cache.entries;
+      Alcotest.(check int) "one miss overall" 1 st.Cache.misses;
+      Alcotest.(check int) "three hits overall" 3 st.Cache.hits
+  | None -> Alcotest.fail "context has no cache"
+
+let suite =
+  [
+    Alcotest.test_case "amortization: miss then hits" `Quick test_amortization;
+    Alcotest.test_case "--no-cache re-pays every iteration" `Quick
+      test_no_cache_repays_every_iteration;
+    Alcotest.test_case "legacy protocol unchanged" `Quick
+      test_legacy_protocol_unchanged;
+    Alcotest.test_case "bit-identity at 10% fault rate" `Quick
+      test_bit_identity_under_faults;
+    prop_bit_identity;
+    Alcotest.test_case "digest injective on a corpus" `Quick
+      test_digest_injective;
+    Alcotest.test_case "digest ignores stored values" `Quick
+      test_digest_ignores_values;
+    Alcotest.test_case "crash invalidates the entry" `Quick
+      test_crash_invalidates;
+    Alcotest.test_case "context reuse: all hits" `Quick
+      test_context_reuse_all_hits;
+  ]

@@ -136,15 +136,7 @@ let test_leaf_partial_shard () =
 
 (* --- Interp end-to-end --------------------------------------------------- *)
 
-let run_problem problem =
-  let res = Core.Spdistal.run problem in
-  match res.Core.Spdistal.dnc with
-  | Some r -> Alcotest.fail ("unexpected DNC: " ^ r)
-  | None ->
-      Helpers.check_float "matches dense reference" 0.
-        (Validate.max_error (Core.Spdistal.bindings problem)
-           problem.Core.Spdistal.stmt);
-      Cost.total res.Core.Spdistal.cost
+let run_problem = Helpers.run_validated
 
 let machine = Helpers.cpu_machine
 

@@ -188,31 +188,10 @@ let test_index_launch_charges_recovery () =
 (* End-to-end: every kernel recovers; outputs bit-identical            *)
 (* ------------------------------------------------------------------ *)
 
-let problems () =
-  let matrix = Helpers.rand_csr ~seed:71 80 80 0.06 in
-  let tensor = Helpers.rand_csf ~seed:72 24 20 16 0.02 in
-  let cpu = Spdistal.machine ~kind:Machine.Cpu [| 8 |] in
-  let gpu2x2 = Spdistal.machine ~kind:Machine.Gpu [| 2; 2 |] in
-  [
-    ("spmv", fun () -> Kernels.spmv_problem ~machine:cpu matrix);
-    ("spmm", fun () -> Kernels.spmm_problem ~machine:cpu ~cols:8 matrix);
-    ("spadd3", fun () -> Kernels.spadd3_problem ~machine:cpu matrix);
-    ("sddmm", fun () -> Kernels.sddmm_problem ~machine:cpu ~cols:8 matrix);
-    ("spttv", fun () -> Kernels.spttv_problem ~machine:cpu tensor);
-    ("mttkrp", fun () -> Kernels.mttkrp_problem ~machine:cpu ~cols:8 tensor);
-    ( "spmm-batched",
-      fun () -> Kernels.spmm_problem ~machine:gpu2x2 ~cols:8 ~batched:true matrix
-    );
-  ]
-
-(* Baseline and faulty runs of one freshly-built problem each; returns
-   (dnc, cost, outputs) per run.  Outputs via Helpers.snapshot. *)
-let run_pair ?domains ~faults make =
-  let base_p = make () in
-  let base = Spdistal.run ?domains ~faults:Fault.disabled base_p in
-  let fault_p = make () in
-  let faulty = Spdistal.run ?domains ~faults fault_p in
-  ((base, Helpers.snapshot base_p), (faulty, Helpers.snapshot fault_p))
+(* The fig10 kernels + batched SpMM, and the baseline/faulty run pair, are
+   Helpers (shared with the parallel and cache suites). *)
+let problems () = Helpers.kernel_problems ()
+let run_pair = Helpers.run_pair
 
 let acceptance_cfg = Fault.make ~seed:7 ~rate:0.1 ()
 
@@ -265,13 +244,7 @@ let test_rate_zero_invariance () =
         (Helpers.snapshot p0 = Helpers.snapshot p1))
     (problems ())
 
-(* Fault cost fields, for cross-domain comparison. *)
-let fault_sig (c : Cost.t) =
-  ( Helpers.cost_sig c,
-    Int64.bits_of_float c.Cost.recovery,
-    c.Cost.retries,
-    Int64.bits_of_float c.Cost.resent_bytes,
-    c.Cost.faults )
+let fault_sig = Helpers.fault_sig
 
 let prop_fault_schedules_bit_identical =
   Helpers.qtest ~count:8 "random fault schedules: outputs bit-identical"

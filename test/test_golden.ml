@@ -1,0 +1,79 @@
+(* Golden-file tests for the Obs.Report renderings of a fixed-seed SpMV
+   trace (3 warm-start iterations of the comm-heavy SpMV, so the goldens
+   pin down the amortization table too).
+
+   The simulated-clock side of a report is a pure function of the problem,
+   so both artifacts are byte-deterministic once host-wall lines (the only
+   wall-clock content) are stripped.
+
+   Regenerate with either of
+     dune exec test/test_main.exe -- golden --update-golden
+     SPDISTAL_UPDATE_GOLDEN=1 dune runtest
+   from the repository root, then review the diff like any other code
+   change. *)
+
+module Report = Spdistal_obs.Report
+
+(* Set from test_main's argv ([--update-golden]) or the environment. *)
+let update =
+  ref
+    (match Sys.getenv_opt "SPDISTAL_UPDATE_GOLDEN" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let golden_dir () =
+  match Sys.getenv_opt "SPDISTAL_GOLDEN_DIR" with
+  | Some d -> d
+  | None ->
+      (* "golden" when running under dune (cwd = _build/.../test, with the
+         files declared as deps); "test/golden" when run from the root. *)
+      if Sys.file_exists "golden" then "golden"
+      else if Sys.file_exists "test/golden" then "test/golden"
+      else Alcotest.fail "no golden directory (set SPDISTAL_GOLDEN_DIR)"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Drop the host-wall tail: the only wall-clock (hence nondeterministic)
+   lines in a rendered report. *)
+let strip_wall text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line -> not (Helpers.contains line "wall"))
+  |> String.concat "\n"
+
+let fixed_report () =
+  let res, trace = Helpers.run_traced ~iterations:3 (Helpers.comm_spmv ()) in
+  (match res.Core.Spdistal.dnc with Some r -> Alcotest.fail r | None -> ());
+  Report.of_trace trace
+
+let check_golden name actual =
+  let path = Filename.concat (golden_dir ()) name in
+  if !update then begin
+    write_file path actual;
+    Printf.printf "golden updated: %s\n%!" path
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden %s (regenerate with --update-golden)" path
+  else
+    Alcotest.(check string) (name ^ " matches golden") (read_file path) actual
+
+let test_report_csv () =
+  check_golden "spmv_iter3_report.csv" (Report.to_csv (fixed_report ()))
+
+let test_report_text () =
+  check_golden "spmv_iter3_report.txt"
+    (strip_wall (Format.asprintf "%a" Report.pp (fixed_report ())))
+
+let suite =
+  [
+    Alcotest.test_case "report csv golden" `Quick test_report_csv;
+    Alcotest.test_case "report text golden" `Quick test_report_text;
+  ]

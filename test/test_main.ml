@@ -3,7 +3,20 @@ let () =
      one) must not leak into golden/numeric tests — only Test_fault reads
      the env, explicitly.  Costs under faults are covered there. *)
   Spdistal_runtime.Fault.set_default Spdistal_runtime.Fault.disabled;
-  Alcotest.run "spdistal"
+  (* --update-golden is ours, not Alcotest's: strip it from argv before the
+     runner parses the rest (e.g. `test_main.exe golden --update-golden`). *)
+  let argv =
+    Array.of_list
+      (List.filter
+         (fun a ->
+           if a = "--update-golden" then begin
+             Test_golden.update := true;
+             false
+           end
+           else true)
+         (Array.to_list Sys.argv))
+  in
+  Alcotest.run ~argv "spdistal"
     [
       ("iset", Test_iset.suite);
       ("partition", Test_partition.suite);
@@ -25,6 +38,9 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("placement", Test_placement.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
+      ("golden", Test_golden.suite);
+      ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

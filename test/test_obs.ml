@@ -2,43 +2,16 @@
    must reconcile exactly with the Cost clock. *)
 
 open Spdistal_runtime
-open Spdistal_formats
-open Spdistal_exec
 module Trace = Spdistal_obs.Trace
 module Chrome_trace = Spdistal_obs.Chrome_trace
 module Report = Spdistal_obs.Report
 
-let blocked = Spdistal_ir.Tdn.Blocked { tensor_dim = 0; machine_dim = 0 }
-
-(* SpMV with a blocked (mis-distributed) input vector, so every piece
-   gathers remote columns: exercises the comm spans and the comm matrix. *)
-let comm_spmv ?(pieces = 3) ?(seed = 66) () =
-  let b = Helpers.rand_csr ~seed 30 30 0.4 in
-  let a = Dense.vec_create "a" 30 in
-  let c = Dense.vec_init "c" 30 float_of_int in
-  Core.Spdistal.problem
-    ~machine:(Helpers.cpu_machine pieces)
-    ~operands:
-      [
-        ("a", Operand.vec a, blocked);
-        ("B", Operand.sparse b, blocked);
-        ("c", Operand.vec c, blocked);
-      ]
-    ~stmt:Spdistal_ir.Tin.spmv
-    ~schedule:(Core.Kernels.spmv_row ())
-
-let run_traced ?domains ?faults problem =
-  let trace = Trace.create () in
-  let res = Core.Spdistal.run ?domains ?faults ~trace problem in
-  (res, trace)
-
-let sim_spans trace =
-  List.filter (fun sp -> sp.Trace.sp_clock = Trace.Sim) (Trace.spans trace)
-
-let launch_spans trace =
-  List.filter
-    (fun sp -> sp.Trace.sp_track = Trace.Runtime && sp.Trace.sp_cat = "launch")
-    (Trace.spans trace)
+(* Problem construction and traced-run plumbing live in Helpers (shared with
+   the cache and golden suites). *)
+let comm_spmv = Helpers.comm_spmv
+let run_traced ?domains ?faults p = Helpers.run_traced ?domains ?faults p
+let sim_spans = Helpers.sim_spans
+let launch_spans = Helpers.launch_spans
 
 (* --- tracing is invisible: bit-identical outputs and costs -------------- *)
 

@@ -108,34 +108,16 @@ let check_deterministic name make =
   Alcotest.(check bool) (name ^ ": outputs bit-identical") true (out1 = out4)
 
 let test_determinism_fig10 () =
-  let cpu = Helpers.cpu_machine in
-  let matrix = Helpers.rand_csr ~seed:41 80 80 0.06 in
-  let tensor = Helpers.rand_csf ~seed:42 24 20 16 0.02 in
-  check_deterministic "spmv" (fun () ->
-      Kernels.spmv_problem ~machine:(cpu 8) matrix);
-  check_deterministic "spmm" (fun () ->
-      Kernels.spmm_problem ~machine:(cpu 8) ~cols:8 matrix);
-  check_deterministic "spadd3" (fun () ->
-      Kernels.spadd3_problem ~machine:(cpu 8) matrix);
-  check_deterministic "sddmm" (fun () ->
-      Kernels.sddmm_problem ~machine:(cpu 8) ~cols:8 matrix);
-  check_deterministic "spttv" (fun () ->
-      Kernels.spttv_problem ~machine:(cpu 8) tensor);
-  check_deterministic "mttkrp" (fun () ->
-      Kernels.mttkrp_problem ~machine:(cpu 8) ~cols:8 tensor)
+  List.iter
+    (fun (name, make) -> check_deterministic name make)
+    (Helpers.kernel_problems ~mseed:41 ~tseed:42 ~batched:false ())
 
 let test_determinism_reductions () =
   (* nnz-split schedules take the deferred-leaf path (overlapping output
      writes reduce on the reducing domain). *)
-  let cpu = Helpers.cpu_machine in
-  let matrix = Helpers.rand_csr ~seed:43 80 80 0.06 in
-  let tensor = Helpers.rand_csf ~seed:44 24 20 16 0.02 in
-  check_deterministic "spmv-nnz" (fun () ->
-      Kernels.spmv_problem ~machine:(cpu 8) ~nonzero_dist:true matrix);
-  check_deterministic "spttv-nnz" (fun () ->
-      Kernels.spttv_problem ~machine:(cpu 8) ~nonzero_dist:true tensor);
-  check_deterministic "mttkrp-nnz" (fun () ->
-      Kernels.mttkrp_problem ~machine:(cpu 8) ~cols:8 ~nonzero_dist:true tensor)
+  List.iter
+    (fun (name, make) -> check_deterministic name make)
+    (Helpers.nnz_kernel_problems ())
 
 let test_determinism_batched () =
   let machine = Helpers.gpu_machine [| 2; 2 |] in
