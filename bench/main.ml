@@ -191,7 +191,7 @@ let run_fault_sweep () =
           | Spdistal_exec.Operand.Mat m ->
               bits m.Spdistal_formats.Dense.data
           | Spdistal_exec.Operand.Sparse t ->
-              bits t.Spdistal_formats.Tensor.vals.Region.data ))
+              bits (Region.F.to_array t.Spdistal_formats.Tensor.vals) ))
       p.S.operands
   in
   print_endline
@@ -397,8 +397,113 @@ let run_trace_exports dir =
     problems
 
 (* ------------------------------------------------------------------ *)
-(* Figure reproductions (simulated time; real numerics).               *)
+(* Leaf throughput: wall-clock of the leaf kernel loop itself, compiled *)
+(* closures vs the reference interpreter vs a hand-written CSR SpMV.    *)
+(* One piece, whole-matrix shard, so nothing but the leaf loop is       *)
+(* timed.  Writes results/leaf_throughput.csv; the CI smoke job checks  *)
+(* the compiled/interp ratio against the ratcheted floor in             *)
+(* bench/leaf_throughput_floor.txt.                                     *)
 (* ------------------------------------------------------------------ *)
+
+(* Repeat [f] until it has run for >= 0.3 s of wall clock (after one
+   untimed warm-up call, which also builds the interpreter's memoized
+   coordinate expansion); returns (reps, seconds). *)
+let time_reps f =
+  f ();
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 0.3 then (reps, dt) else go (reps * 2)
+  in
+  go 1
+
+let run_leaf_throughput () =
+  let open Spdistal_runtime in
+  let module S = Core.Spdistal in
+  let module E = Spdistal_exec in
+  let module Loop_ir = Spdistal_ir.Loop_ir in
+  let module Tensor = Spdistal_formats.Tensor in
+  let module Dense = Spdistal_formats.Dense in
+  let n = if quick then 100_000 else 400_000 in
+  let b = Synth.banded ~name:"leaf-bench" ~n ~band:8 in
+  let nnz = Tensor.nnz b in
+  let p =
+    Core.Kernels.spmv_problem
+      ~machine:(S.machine ~kind:Machine.Cpu [| 1 |])
+      b
+  in
+  let bindings = S.bindings p in
+  let prog = S.compile ~trace:Spdistal_obs.Trace.null p in
+  (* One piece covering every stored value: the timed call is exactly the
+     leaf loop, no partitioning, placement or cost model around it. *)
+  let shard = Iset.of_intervals [ (0, nnz - 1) ] in
+  let shard_vals _ = shard in
+  let leaf_of prepared =
+    match
+      List.find_map
+        (function Loop_ir.Distributed_for { leaf; _ } -> Some leaf | _ -> None)
+        prepared.E.Interp.pp_loops
+    with
+    | Some leaf -> leaf
+    | None -> failwith "leaf-throughput: no distributed loop in the program"
+  in
+  let prep_i = E.Interp.prepare ~backend:E.Compile_leaf.Interp ~bindings prog in
+  let leaf = leaf_of prep_i in
+  let interp_run () =
+    ignore
+      (E.Leaf.execute ~bindings ~leaf ~shard_vals ~rows:None ~col_range:None ())
+  in
+  let prep_c =
+    E.Interp.prepare ~backend:E.Compile_leaf.Compiled ~bindings prog
+  in
+  let compiled =
+    match List.find_map (fun l -> l) prep_c.E.Interp.pp_leaves with
+    | Some c -> c
+    | None -> failwith "leaf-throughput: no compiled leaf"
+  in
+  let compiled_run () =
+    ignore (E.Compile_leaf.execute compiled ~shard_vals ~rows:None ~col_range:None ())
+  in
+  let x = E.Operand.find_vec bindings "c" in
+  let y = E.Operand.find_vec bindings "a" in
+  let hand_run () = Spdistal_baselines.Common.seq_spmv b x y in
+  print_endline
+    "=== Leaf throughput (CSR SpMV leaf loop, wall clock, 1 piece) ===";
+  Printf.printf "matrix: %d x %d banded, %d nnz\n" n n nnz;
+  let measure name f =
+    let reps, secs = time_reps f in
+    let mnnz = float_of_int nnz *. float_of_int reps /. secs /. 1e6 in
+    Printf.printf "%-12s %8d reps  %8.3f s  %10.1f Mnnz/s\n%!" name reps secs
+      mnnz;
+    (name, reps, secs, mnnz)
+  in
+  let r_interp = measure "interp" interp_run in
+  let r_compiled = measure "compiled" compiled_run in
+  let r_hand = measure "hand-csr" hand_run in
+  let results = [ r_interp; r_compiled; r_hand ] in
+  let rate_of want =
+    List.find_map
+      (fun (nm, _, _, r) -> if nm = want then Some r else None)
+      results
+  in
+  let interp_rate = Option.get (rate_of "interp") in
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = "results/leaf_throughput.csv" in
+  let oc = open_out path in
+  output_string oc "backend,rows,nnz,reps,seconds,mnnz_per_s,speedup_vs_interp\n";
+  List.iter
+    (fun (name, reps, secs, mnnz) ->
+      Printf.fprintf oc "%s,%d,%d,%d,%.6f,%.3f,%.3f\n" name n nnz reps secs
+        mnnz (mnnz /. interp_rate))
+    results;
+  close_out oc;
+  let ratio = Option.get (rate_of "compiled") /. interp_rate in
+  Printf.printf "compiled/interp leaf throughput: %.2fx (CSV: %s)\n%!" ratio
+    path
 
 let section title f =
   let t0 = Unix.gettimeofday () in
@@ -406,7 +511,17 @@ let section title f =
   f ();
   Printf.printf "[%s took %.1fs]\n%!" title (Unix.gettimeofday () -. t0)
 
+let leaf_only =
+  match Sys.getenv_opt "BENCH_LEAF_ONLY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let () =
+  if leaf_only then begin
+    (* CI smoke mode: just the leaf-throughput microbench and its CSV. *)
+    section "leaf-throughput" run_leaf_throughput;
+    exit 0
+  end;
   Printf.printf "SpDISTAL reproduction benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
   Printf.printf
@@ -415,6 +530,7 @@ let () =
     Datasets.scale;
 
   run_bechamel ();
+  section "leaf-throughput" run_leaf_throughput;
   run_domain_scaling ();
   section "fault-sweep" run_fault_sweep;
   section "amortization" run_amortization;

@@ -76,6 +76,31 @@ let domains_arg =
 (* Fold the --domains option into a command's action. *)
 let set_domains d = if d > 0 then Machine.set_sim_domains d
 
+let leaf_backend_conv =
+  let module CL = Spdistal_exec.Compile_leaf in
+  Arg.conv
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (CL.backend_of_string s)),
+      fun fmt b -> Format.fprintf fmt "%s" (CL.backend_name b) )
+
+let leaf_backend_arg =
+  Arg.(
+    value
+    & opt (some leaf_backend_conv) None
+    & info [ "leaf-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Leaf-kernel execution backend: $(b,compiled) (default) runs the \
+           monomorphized per-(format x expression) closures specialized at \
+           compile time; $(b,interp) runs the reference interpreter.  \
+           Outputs, launch records and simulated cost are bit-identical \
+           across backends (the interpreter is the differential oracle).  \
+           Unset defers to $(b,SPDISTAL_LEAF_BACKEND).")
+
+(* Fold --leaf-backend into a command's action: an explicit flag overrides
+   SPDISTAL_LEAF_BACKEND for the whole process. *)
+let set_leaf_backend = function
+  | Some b -> Spdistal_exec.Compile_leaf.set_backend b
+  | None -> ()
+
 let fault_seed_arg =
   Arg.(
     value & opt int 42
@@ -175,9 +200,10 @@ let finish_trace t trace_out metrics_out =
   | None -> ()
 
 let run_cmd =
-  let f kernel dataset system pieces gpu cols domains fseed frate fretries
-      trace_out metrics_out iterations no_cache =
+  let f kernel dataset system pieces gpu cols domains leaf_backend fseed frate
+      fretries trace_out metrics_out iterations no_cache =
     set_domains domains;
+    set_leaf_backend leaf_backend;
     set_faults fseed frate fretries;
     let trace = start_trace trace_out metrics_out in
     let b = load_dataset dataset in
@@ -208,9 +234,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
     Term.(
       const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
-      $ cols_arg $ domains_arg $ fault_seed_arg $ fault_rate_arg
-      $ max_retries_arg $ trace_out_arg $ metrics_out_arg $ iterations_arg
-      $ no_cache_arg)
+      $ cols_arg $ domains_arg $ leaf_backend_arg $ fault_seed_arg
+      $ fault_rate_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
+      $ iterations_arg $ no_cache_arg)
 
 (* The SpDISTAL problem of one kernel cell (shared by show and prof). *)
 let problem_for ~kernel ~machine ~cols b =
@@ -224,9 +250,10 @@ let problem_for ~kernel ~machine ~cols b =
   | Runner.Mttkrp -> Core.Kernels.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu_kind b
 
 let prof_cmd =
-  let f kernel dataset pieces gpu cols domains fseed frate fretries trace_out
-      metrics_out iterations no_cache =
+  let f kernel dataset pieces gpu cols domains leaf_backend fseed frate
+      fretries trace_out metrics_out iterations no_cache =
     set_domains domains;
+    set_leaf_backend leaf_backend;
     set_faults fseed frate fretries;
     let b = load_dataset dataset in
     let machine =
@@ -256,8 +283,9 @@ let prof_cmd =
           piece-time imbalance")
     Term.(
       const f $ kernel_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg
-      $ domains_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg
-      $ trace_out_arg $ metrics_out_arg $ iterations_arg $ no_cache_arg)
+      $ domains_arg $ leaf_backend_arg $ fault_seed_arg $ fault_rate_arg
+      $ max_retries_arg $ trace_out_arg $ metrics_out_arg $ iterations_arg
+      $ no_cache_arg)
 
 let trace_check_cmd =
   let file_arg =
@@ -419,8 +447,9 @@ let fuzz_cmd =
           ~doc:"Also write the shrunk reproducer report to FILE on failure")
   in
   let f seed count max_dim max_pieces fault_prob budget verbose inject_bug
-      replay corpus out domains =
+      replay corpus out domains leaf_backend =
     set_domains domains;
+    set_leaf_backend leaf_backend;
     Fault.set_default Fault.disabled;
     if inject_bug then Spdistal_ir.Lower.set_debug_flip_block_bound true;
     match (replay, corpus) with
@@ -476,7 +505,7 @@ let fuzz_cmd =
     Term.(
       const f $ seed_arg $ count_arg $ max_dim_arg $ max_pieces_arg
       $ fault_prob_arg $ budget_arg $ verbose_arg $ inject_bug_arg $ replay_arg
-      $ corpus_arg $ out_arg $ domains_arg)
+      $ corpus_arg $ out_arg $ domains_arg $ leaf_backend_arg)
 
 let main =
   Cmd.group

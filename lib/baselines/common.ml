@@ -1,5 +1,6 @@
 open Spdistal_runtime
 open Spdistal_formats
+module A1 = Bigarray.Array1
 
 type result = { time : float; dnc : string option }
 
@@ -113,13 +114,13 @@ let share_time machine ~den ~flops ~bytes =
 let seq_spmv (b : Tensor.t) (x : Dense.vec) (y : Dense.vec) =
   let pos = (Tensor.pos_of b 1).Region.data in
   let crd = (Tensor.crd_of b 1).Region.data in
-  let vals = b.Tensor.vals.Region.data in
+  let vals = b.Tensor.vals.Region.F.data in
   let xd = x.Dense.data and yd = y.Dense.data in
   for r = 0 to b.Tensor.dims.(0) - 1 do
     let lo, hi = pos.(r) in
     let acc = ref 0. in
     for p = lo to hi do
-      acc := !acc +. (vals.(p) *. xd.(crd.(p)))
+      acc := !acc +. (A1.get vals p *. xd.(crd.(p)))
     done;
     yd.(r) <- yd.(r) +. !acc
   done
@@ -127,12 +128,12 @@ let seq_spmv (b : Tensor.t) (x : Dense.vec) (y : Dense.vec) =
 let seq_spmm (b : Tensor.t) (c : Dense.mat) (a : Dense.mat) =
   let pos = (Tensor.pos_of b 1).Region.data in
   let crd = (Tensor.crd_of b 1).Region.data in
-  let vals = b.Tensor.vals.Region.data in
+  let vals = b.Tensor.vals.Region.F.data in
   let cols = c.Dense.cols in
   for r = 0 to b.Tensor.dims.(0) - 1 do
     let lo, hi = pos.(r) in
     for p = lo to hi do
-      let k = crd.(p) and v = vals.(p) in
+      let k = crd.(p) and v = A1.get vals p in
       for j = 0 to cols - 1 do
         a.Dense.data.((r * cols) + j) <-
           a.Dense.data.((r * cols) + j) +. (v *. c.Dense.data.((k * cols) + j))
@@ -145,7 +146,7 @@ let seq_add3 ~name (b : Tensor.t) (c : Tensor.t) (d : Tensor.t) =
   let ops =
     List.map
       (fun (t : Tensor.t) ->
-        ((Tensor.pos_of t 1).Region.data, (Tensor.crd_of t 1).Region.data, t.Tensor.vals.Region.data))
+        ((Tensor.pos_of t 1).Region.data, (Tensor.crd_of t 1).Region.data, t.Tensor.vals.Region.F.data))
       [ b; c; d ]
   in
   let merge_row r emit =
@@ -167,7 +168,7 @@ let seq_add3 ~name (b : Tensor.t) (c : Tensor.t) (d : Tensor.t) =
         List.iter
           (fun (i, hi, crd, vals) ->
             while !i <= hi && crd.(!i) = mincol do
-              sum := !sum +. vals.(!i);
+              sum := !sum +. A1.get vals !i;
               incr i
             done)
           cursors;
@@ -189,8 +190,8 @@ let seq_add3 ~name (b : Tensor.t) (c : Tensor.t) (d : Tensor.t) =
 let seq_sddmm (b : Tensor.t) (c : Dense.mat) (d : Dense.mat) (a : Tensor.t) =
   let pos = (Tensor.pos_of b 1).Region.data in
   let crd = (Tensor.crd_of b 1).Region.data in
-  let vals = b.Tensor.vals.Region.data in
-  let av = a.Tensor.vals.Region.data in
+  let vals = b.Tensor.vals.Region.F.data in
+  let av = a.Tensor.vals.Region.F.data in
   let kk = c.Dense.cols in
   for r = 0 to b.Tensor.dims.(0) - 1 do
     let lo, hi = pos.(r) in
@@ -200,7 +201,7 @@ let seq_sddmm (b : Tensor.t) (c : Dense.mat) (d : Dense.mat) (a : Tensor.t) =
       for k = 0 to kk - 1 do
         acc := !acc +. (c.Dense.data.((r * kk) + k) *. d.Dense.data.((k * d.Dense.cols) + j))
       done;
-      av.(p) <- av.(p) +. (vals.(p) *. !acc)
+      A1.set av p (A1.get av p +. (A1.get vals p *. !acc))
     done
   done
 
@@ -208,16 +209,16 @@ let seq_spttv (b : Tensor.t) (c : Dense.vec) (a : Tensor.t) =
   (* b is (Dense, Compressed, Compressed); a shares the first two levels. *)
   let pos2 = (Tensor.pos_of b 2).Region.data in
   let crd2 = (Tensor.crd_of b 2).Region.data in
-  let vals = b.Tensor.vals.Region.data in
-  let av = a.Tensor.vals.Region.data in
+  let vals = b.Tensor.vals.Region.F.data in
+  let av = a.Tensor.vals.Region.F.data in
   let cd = c.Dense.data in
   for q = 0 to Array.length pos2 - 1 do
     let lo, hi = pos2.(q) in
     let acc = ref 0. in
     for p = lo to hi do
-      acc := !acc +. (vals.(p) *. cd.(crd2.(p)))
+      acc := !acc +. (A1.get vals p *. cd.(crd2.(p)))
     done;
-    av.(q) <- av.(q) +. !acc
+    A1.set av q (A1.get av q +. !acc)
   done
 
 let seq_mttkrp (b : Tensor.t) (c : Dense.mat) (d : Dense.mat) (a : Dense.mat) =

@@ -51,7 +51,7 @@ let set_run_meta trace p =
     Trace.set_meta trace "pieces" (string_of_int (Machine.pieces p.machine))
   end
 
-let run_once ?(uvm = false) ?domains ?faults ?trace p =
+let run_once ?(uvm = false) ?domains ?faults ?trace ?leaf_backend p =
   let trace = match trace with Some t -> t | None -> Trace.default () in
   let b = bindings p in
   let cost = Cost.create () in
@@ -68,7 +68,7 @@ let run_once ?(uvm = false) ?domains ?faults ?trace p =
     let prog = compile ~trace p in
     let memstate = Memstate.create p.machine ~uvm in
     Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost
-      ?domains ?faults ~trace prog;
+      ?domains ?faults ~trace ?backend:leaf_backend prog;
     { cost; dnc = None; iters = [] }
   with
   | Memstate.Oom reason -> { cost; dnc = Some reason; iters = [] }
@@ -111,7 +111,7 @@ module Context = struct
 
   (* Cold path: placement, lowering and dependent partitioning, with the
      partitioning work tallied for the cost model. *)
-  let build ~trace ~key ctx =
+  let build ~trace ~backend ~key ctx =
     let p = ctx.problem in
     let b = bindings p in
     let stats = Part_eval.stats () in
@@ -126,22 +126,22 @@ module Context = struct
             p.operands)
     in
     let prog = compile ~trace p in
-    let penv, loops = Interp.prepare ~trace ~bindings:b prog in
-    Part_eval.accum_stats stats penv;
+    let prepared = Interp.prepare ~trace ~backend ~bindings:b prog in
+    Part_eval.accum_stats stats prepared.Interp.pp_penv;
     {
       Cache.e_key = key;
       e_placement = placement;
       e_prog = prog;
-      e_penv = penv;
-      e_loops = loops;
-      e_launches = List.length loops;
+      e_prepared = prepared;
+      e_launches = List.length prepared.Interp.pp_loops;
       e_part_seconds = Cache.partition_seconds p.machine stats;
       e_part_ops = stats.Part_eval.s_parts + stats.Part_eval.s_dep_ops;
       e_part_elems = stats.Part_eval.s_dep_elems;
       e_hits = 0;
     }
 
-  let run ?(uvm = false) ?domains ?faults ?trace ?(iterations = 1) ctx =
+  let run ?(uvm = false) ?domains ?faults ?trace ?leaf_backend
+      ?(iterations = 1) ctx =
     if iterations < 1 then
       Error.fail Error.Config "iterations must be >= 1 (got %d)" iterations;
     let p = ctx.problem in
@@ -172,18 +172,28 @@ module Context = struct
             Operand.copy_data ctx.pristine_out;
         let before = Cost.copy cost in
         let t_start = Cost.total cost in
+        let backend =
+          match leaf_backend with
+          | Some b -> b
+          | None -> Compile_leaf.default_backend ()
+        in
         let status, entry =
           match ctx.cache with
-          | None -> (`Uncached, build ~trace ~key:"" ctx)
+          | None -> (`Uncached, build ~trace ~backend ~key:"" ctx)
           | Some c -> (
               let key = Lazy.force key in
               match Cache.find c key with
               | Some e -> (`Hit, e)
               | None ->
-                  let e = build ~trace ~key ctx in
+                  let e = build ~trace ~backend ~key ctx in
                   Cache.add c e;
                   (`Miss, e))
         in
+        (* A hit prepared under the other backend keeps its partitions and
+           respecializes only the leaves. *)
+        if entry.Cache.e_prepared.Interp.pp_backend <> backend then
+          entry.Cache.e_prepared <-
+            Interp.relink ~trace ~bindings:b ~backend entry.Cache.e_prepared;
         if Trace.enabled trace then
           Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim ~cat:"cache"
             ~args:[ ("iteration", Trace.I i) ]
@@ -214,7 +224,7 @@ module Context = struct
         Interp.run ~machine:p.machine ~bindings:b
           ~placement:entry.Cache.e_placement ~memstate ~cost ?domains ?faults
           ~trace
-          ~prepared:(entry.Cache.e_penv, entry.Cache.e_loops)
+          ~prepared:entry.Cache.e_prepared
           ~launch_base:(i * entry.Cache.e_launches)
           entry.Cache.e_prog;
         if Trace.enabled trace then
@@ -277,9 +287,10 @@ end
    an explicit iteration count switches to the warm-start protocol: a fresh
    execution context runs [n] iterations end-to-end, the cold first
    iteration paying (and every warm one skipping) dependent partitioning. *)
-let run ?uvm ?domains ?faults ?trace ?iterations ?(cache = true) p =
+let run ?uvm ?domains ?faults ?trace ?leaf_backend ?iterations ?(cache = true)
+    p =
   match iterations with
-  | None -> run_once ?uvm ?domains ?faults ?trace p
+  | None -> run_once ?uvm ?domains ?faults ?trace ?leaf_backend p
   | Some n ->
-      Context.run ?uvm ?domains ?faults ?trace ~iterations:n
+      Context.run ?uvm ?domains ?faults ?trace ?leaf_backend ~iterations:n
         (Context.create ~cache p)

@@ -84,6 +84,13 @@ type run_result = {
     is exhausted (a fault recurring past [max_retries]) the run reports a
     DNC instead of raising.
 
+    [leaf_backend] (default {!Spdistal_exec.Compile_leaf.default_backend},
+    i.e. the CLI's [--leaf-backend] or [SPDISTAL_LEAF_BACKEND], else the
+    compiled backend) selects how leaf kernels execute: [Compiled] runs the
+    monomorphized per-(format × expression) closures, [Interp] the
+    reference interpreter.  Outputs, launch records and cost are
+    bit-identical across backends.
+
     [trace] (default {!Spdistal_obs.Trace.default}) records the whole run:
     compile/placement phase spans on the host clock and every runtime event
     on the simulated clock (see {!Spdistal_exec.Interp.run}).  Tracing never
@@ -106,6 +113,7 @@ val run :
   ?domains:int ->
   ?faults:Fault.config ->
   ?trace:Spdistal_obs.Trace.t ->
+  ?leaf_backend:Compile_leaf.backend ->
   ?iterations:int ->
   ?cache:bool ->
   problem ->
@@ -141,6 +149,7 @@ module Context : sig
     ?domains:int ->
     ?faults:Fault.config ->
     ?trace:Spdistal_obs.Trace.t ->
+    ?leaf_backend:Compile_leaf.backend ->
     ?iterations:int ->
     ctx ->
     run_result

@@ -15,11 +15,12 @@ type entry = {
   e_key : string;
   e_placement : Placement.t;
   e_prog : Loop_ir.prog;
-  e_penv : Part_eval.env;
-  e_loops : Loop_ir.stmt list;
-      (** the program's distributed loops, as returned by
-          {!Part_eval.eval_partitions} over [e_penv] *)
-  e_launches : int;  (** per-iteration launch stride: [List.length e_loops] *)
+  mutable e_prepared : Interp.prepared;
+      (** materialized partitions, distributed loops and (compiled backend)
+          specialized leaf closures; swapped in place via {!Interp.relink}
+          when a later run requests the other backend *)
+  e_launches : int;
+      (** per-iteration launch stride: length of the prepared loop list *)
   e_part_seconds : float;
   e_part_ops : int;
   e_part_elems : int;
@@ -90,6 +91,42 @@ let data_fingerprint buf data =
                 (Printf.sprintf ";S%Lx" (hash_ints crd.Region.data)))
         t.Tensor.levels
 
+(* Explicit field-by-field rendering of the machine params.  Marshal's byte
+   layout is not a stable canonical form (it varies with sharing, flags and
+   compiler version), so digests built from it are fragile across processes;
+   %h renders each float exactly (hex significand), and the record pattern
+   forces this function to be revisited whenever a field is added. *)
+let params_repr (p : Machine.params) =
+  let {
+    Machine.cpu_cores;
+    cpu_mem_bw;
+    cpu_flops;
+    node_mem;
+    gpus_per_node;
+    gpu_mem_bw;
+    gpu_flops;
+    gpu_mem;
+    nvlink_bw;
+    net_bw;
+    net_alpha;
+    task_overhead;
+    meta_per_piece;
+    barrier_alpha;
+    atomic_penalty_cpu;
+    atomic_penalty_gpu;
+    uvm_page_bw;
+    legion_leaf_efficiency;
+  } =
+    p
+  in
+  Printf.sprintf
+    "cores=%d;cbw=%h;cfl=%h;nmem=%h;gpn=%d;gbw=%h;gfl=%h;gmem=%h;nv=%h;net=%h;\
+     alpha=%h;task=%h;meta=%h;barrier=%h;apc=%h;apg=%h;uvm=%h;lle=%h"
+    cpu_cores cpu_mem_bw cpu_flops node_mem gpus_per_node gpu_mem_bw gpu_flops
+    gpu_mem nvlink_bw net_bw net_alpha task_overhead meta_per_piece
+    barrier_alpha atomic_penalty_cpu atomic_penalty_gpu uvm_page_bw
+    legion_leaf_efficiency
+
 let digest ~machine ~operands ~stmt ~schedule =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -98,10 +135,7 @@ let digest ~machine ~operands ~stmt ~schedule =
     (fun d -> Buffer.add_string buf (string_of_int d ^ ","))
     machine.Machine.grid;
   Buffer.add_string buf "]";
-  (* The params record is immutable floats/ints: Marshal is a canonical,
-     deterministic encoding of its exact values (scaled machines must not
-     collide with unscaled ones). *)
-  Buffer.add_string buf (Digest.to_hex (Digest.string (Marshal.to_string machine.Machine.params [])));
+  Buffer.add_string buf (params_repr machine.Machine.params);
   Buffer.add_string buf "|tin:";
   Buffer.add_string buf (Tin.to_string stmt);
   Buffer.add_string buf "|sched:";

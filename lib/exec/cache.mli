@@ -21,11 +21,12 @@ type entry = {
   e_key : string;
   e_placement : Placement.t;
   e_prog : Loop_ir.prog;
-  e_penv : Part_eval.env;  (** materialized partitions *)
-  e_loops : Loop_ir.stmt list;
-      (** the program's distributed loops, as returned by
-          {!Part_eval.eval_partitions} over [e_penv] *)
-  e_launches : int;  (** per-iteration launch stride: [List.length e_loops] *)
+  mutable e_prepared : Interp.prepared;
+      (** materialized partitions, distributed loops and (compiled backend)
+          specialized leaf closures; swapped in place via {!Interp.relink}
+          when a later run requests the other backend *)
+  e_launches : int;
+      (** per-iteration launch stride: length of the prepared loop list *)
   e_part_seconds : float;
       (** simulated dependent-partitioning seconds charged on the miss *)
   e_part_ops : int;

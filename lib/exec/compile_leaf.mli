@@ -1,0 +1,67 @@
+(** Compiled leaf kernels: monomorphized per-(format × expression) closures.
+
+    The reference interpreter in {!Leaf} re-dispatches on the kernel shape
+    for every stored element.  This pass runs once per lowered program (at
+    [Spdistal.compile] / {!Interp.prepare} time) and specializes each leaf
+    loop into a closed closure: level iterators from
+    {!Spdistal_ir.Level_funcs} are pre-resolved per level kind
+    (dense / compressed / compressed-non-unique / singleton), the kernel
+    shape is matched once, and the hot loop touches only flat arrays and
+    the Bigarray value buffers ({!Spdistal_runtime.Region.F}) — no IR
+    dispatch and no per-element allocation.
+
+    Classification ({!Leaf.plan_mul}), inner-loop bounds and the simulated
+    work model ({!Leaf.mul_work}) are shared verbatim with the interpreter,
+    which remains the differential oracle: outputs, launch records and Cost
+    are bit-identical across backends (checked by [spdistal fuzz] and the
+    test suite). *)
+
+open Spdistal_runtime
+
+(** {1 Backend selection} *)
+
+type backend = Interp | Compiled
+
+(** [SPDISTAL_LEAF_BACKEND] — consulted by {!default_backend} when no
+    explicit override is set. *)
+val backend_env_var : string
+
+(** Parse ["interp"]/["interpreter"]/["compiled"]/["compile"]
+    (case-insensitive); [Error msg] otherwise. *)
+val backend_of_string : string -> (backend, string) result
+
+val backend_name : backend -> string
+
+(** Process-wide override (the CLI's [--leaf-backend]); takes precedence
+    over the environment variable. *)
+val set_backend : backend -> unit
+
+(** Override > [SPDISTAL_LEAF_BACKEND] > [Compiled].  An unparseable
+    environment value silently falls back to the default; the CLI flag
+    errors loudly instead. *)
+val default_backend : unit -> backend
+
+(** {1 Compilation and execution} *)
+
+(** A leaf specialized for its driver format and expression shape.  The
+    closure captures only immutable structure (plans, resolved level
+    iterators, input arrays); all mutable walk state is allocated per
+    {!execute} call, so one compiled leaf may simulate the pieces of a
+    distributed launch concurrently.  Output storage is re-resolved per
+    call because warm-start iterations swap the output slot's backing
+    data between launches. *)
+type t
+
+(** Specialize one leaf.  Raises {!Spdistal_runtime.Error.Error} on the
+    same unsupported shapes as the interpreter ({!Leaf.plan_mul}). *)
+val compile : bindings:Operand.bindings -> Spdistal_ir.Loop_ir.leaf -> t
+
+(** Drop-in replacement for {!Leaf.execute} (same piece-shard arguments,
+    same {!Leaf.result}, same deferred per-element error semantics). *)
+val execute :
+  t ->
+  shard_vals:(string -> Iset.t) ->
+  rows:Iset.t option ->
+  col_range:(int * int) option ->
+  unit ->
+  Leaf.result

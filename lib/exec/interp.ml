@@ -79,7 +79,7 @@ let stitch_merge ~bindings ~out_name ~nrows ~ncols partials =
               crd = Region.of_array (out_name ^ ".crd") crd;
             };
         |];
-      vals = Region.of_array (out_name ^ ".vals") vals;
+      vals = Region.F.of_array (out_name ^ ".vals") vals;
     }
   in
   (Operand.find bindings out_name).Operand.data <- Operand.Sparse t
@@ -103,11 +103,40 @@ type piece_sim = {
 
 module Trace = Spdistal_obs.Trace
 
-(* Materialize a program's partitions ahead of execution.  [run] does this
-   itself when no [?prepared] pair is passed; the execution context calls it
-   once on a cold cache miss and replays the result on every warm
-   iteration. *)
-let prepare ?(trace = Trace.null) ~bindings prog =
+(* A prepared program: materialized partitions, the distributed loops, and —
+   under the compiled backend — one monomorphized closure per loop, aligned
+   with [pp_loops]. *)
+type prepared = {
+  pp_penv : Part_eval.env;
+  pp_loops : Loop_ir.stmt list;
+  pp_leaves : Compile_leaf.t option list;
+  pp_backend : Compile_leaf.backend;
+}
+
+(* Materialize a program's partitions (and, under the compiled backend,
+   specialize its leaf loops) ahead of execution.  [run] does this itself
+   when no [?prepared] value is passed; the execution context calls it once
+   on a cold cache miss and replays the result on every warm iteration, so
+   warm iterations skip specialization too. *)
+let leaves_for ~trace ~bindings ~backend loops =
+  match backend with
+  | Compile_leaf.Interp -> List.map (fun _ -> None) loops
+  | Compile_leaf.Compiled ->
+      Trace.with_wall_span trace
+        ~track:(Trace.Host (Domain.self () :> int))
+        ~cat:"phase" ~name:"compile_leaves"
+        (fun () ->
+          List.map
+            (function
+              | Loop_ir.Distributed_for { leaf; _ } ->
+                  Some (Compile_leaf.compile ~bindings leaf)
+              | _ -> None)
+            loops)
+
+let prepare ?(trace = Trace.null) ?backend ~bindings prog =
+  let backend =
+    match backend with Some b -> b | None -> Compile_leaf.default_backend ()
+  in
   let penv = Part_eval.create ~trace bindings in
   let loops =
     Trace.with_wall_span trace
@@ -115,10 +144,32 @@ let prepare ?(trace = Trace.null) ~bindings prog =
       ~cat:"phase" ~name:"part_eval"
       (fun () -> Part_eval.eval_partitions penv prog)
   in
-  (penv, loops)
+  let leaves = leaves_for ~trace ~bindings ~backend loops in
+  { pp_penv = penv; pp_loops = loops; pp_leaves = leaves; pp_backend = backend }
+
+(* Swap a prepared program to the other leaf backend, reusing its
+   materialized partitions (the expensive part).  The execution context uses
+   this when a cached entry was prepared under one backend and a later run
+   asks for the other. *)
+let relink ?(trace = Trace.null) ~bindings ~backend (p : prepared) =
+  if p.pp_backend = backend then p
+  else
+    {
+      p with
+      pp_leaves = leaves_for ~trace ~bindings ~backend p.pp_loops;
+      pp_backend = backend;
+    }
+
+let stmt_ctor = function
+  | Loop_ir.Comment _ -> "comment"
+  | Loop_ir.Init_coloring _ -> "init_coloring"
+  | Loop_ir.For_colors _ -> "for_colors"
+  | Loop_ir.Coloring_entry _ -> "coloring_entry"
+  | Loop_ir.Def_partition _ -> "def_partition"
+  | Loop_ir.Distributed_for _ -> "distributed_for"
 
 let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
-    ?prepared ?(launch_base = 0) prog =
+    ?backend ?prepared ?(launch_base = 0) prog =
   let pieces = Loop_ir.pieces prog in
   if pieces <> Machine.pieces machine then
     Error.fail Error.Config "program lowered for a different machine size";
@@ -138,11 +189,12 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
   let trace = match trace with Some t -> t | None -> Trace.default () in
   let pool = Pool.get (Pool.effective_workers domains) in
   let grid = prog.Loop_ir.grid in
-  let penv, loops =
+  let prep =
     match prepared with
-    | Some (penv, loops) -> (penv, loops)
-    | None -> prepare ~trace ~bindings prog
+    | Some p -> p
+    | None -> prepare ~trace ?backend ~bindings prog
   in
+  let penv = prep.pp_penv and loops = prep.pp_loops in
   last := Some penv;
   let part name = Part_eval.find_partition penv name in
   let subset_for p piece =
@@ -186,8 +238,9 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
       acc := (0, float_of_int (Iset.cardinal !left) *. elt) :: !acc;
     List.rev !acc
   in
-  List.iter
-    (function
+  List.iter2
+    (fun stmt compiled ->
+      match stmt with
       | Loop_ir.Distributed_for { shard_parts; comms; out_comm; leaf; _ } ->
           incr launch_ix;
           let launch = !launch_ix in
@@ -229,14 +282,17 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
               end
               else None
             in
-            Leaf.execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()
+            match compiled with
+            | Some cl -> Compile_leaf.execute cl ~shard_vals ~rows ~col_range ()
+            | None -> Leaf.execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()
           in
           (* Materialize the driver's coordinate expansion on this domain so
-             worker domains only read the memoized entry. *)
-          (match leaf.Loop_ir.driver with
-          | Loop_ir.Sparse_driver d ->
+             worker domains only read the memoized entry.  Compiled leaves
+             walk the level storage directly and need no expansion. *)
+          (match (leaf.Loop_ir.driver, compiled) with
+          | Loop_ir.Sparse_driver d, None ->
               Leaf.prewarm (Operand.find_sparse bindings d)
-          | Loop_ir.Merge_driver _ -> ());
+          | _ -> ());
           (* --- simulate pieces (parallel when a pool is configured) --- *)
           let simulate c =
             let comm_time = ref 0. in
@@ -549,5 +605,20 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
             stitch_merge ~bindings ~out_name:out_acc.Tin.tensor
               ~nrows:src.Tensor.dims.(0) ~ncols:src.Tensor.dims.(1) partials
           end
-      | _ -> assert false)
-    loops
+      | other ->
+          (* [Part_eval.eval_partitions] returns only the executable
+             distributed loops; anything else here is a lowering bug worth a
+             precise report rather than a crash. *)
+          let kernel =
+            List.find_map
+              (function
+                | Loop_ir.Distributed_for { leaf; _ } ->
+                    Some leaf.Loop_ir.leaf_stmt.Tin.lhs.Tin.tensor
+                | _ -> None)
+              loops
+          in
+          Error.fail ?kernel Error.Launch
+            "unexpected %s construct in the prepared launch list (only \
+             distributed_for loops are executable)"
+            (stmt_ctor other))
+    loops prep.pp_leaves

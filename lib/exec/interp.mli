@@ -52,11 +52,29 @@ open Spdistal_runtime
     never changes computed tensors or [cost] — all emission happens on the
     reducing domain in piece order.
 
-    [prepared] supplies a pre-materialized [(penv, loops)] pair from
+    [backend] selects the leaf execution backend for this run (default
+    {!Compile_leaf.default_backend}): [Compiled] runs the monomorphized
+    closures from {!Compile_leaf}, [Interp] the reference interpreter in
+    {!Leaf}.  Both are bit-identical in outputs, launch records and Cost.
+    Ignored when [prepared] is given (the prepared value fixes the backend).
+
+    [prepared] supplies a pre-materialized {!prepared} value from
     {!prepare} (e.g. the execution context's cache), skipping partition
-    evaluation; [launch_base] offsets the run's launch indices, so iteration
-    [i] of a warm-start run draws the same fault schedule whether or not its
-    partitions came from the cache. *)
+    evaluation and leaf specialization; [launch_base] offsets the run's
+    launch indices, so iteration [i] of a warm-start run draws the same
+    fault schedule whether or not its partitions came from the cache. *)
+
+(** A prepared program: the partition environment, its distributed loops,
+    and — under the compiled backend — one specialized closure per loop
+    (aligned with [pp_loops]; [None] entries fall back to the
+    interpreter). *)
+type prepared = {
+  pp_penv : Part_eval.env;
+  pp_loops : Spdistal_ir.Loop_ir.stmt list;
+  pp_leaves : Compile_leaf.t option list;
+  pp_backend : Compile_leaf.backend;
+}
+
 val run :
   machine:Machine.t ->
   bindings:Operand.bindings ->
@@ -66,20 +84,33 @@ val run :
   ?domains:int ->
   ?faults:Fault.config ->
   ?trace:Spdistal_obs.Trace.t ->
-  ?prepared:Part_eval.env * Spdistal_ir.Loop_ir.stmt list ->
+  ?backend:Compile_leaf.backend ->
+  ?prepared:prepared ->
   ?launch_base:int ->
   Spdistal_ir.Loop_ir.prog ->
   unit
 
-(** Materialize [prog]'s partitions without executing its distributed loops:
-    the [(penv, loops)] pair [run] accepts via [?prepared].  [trace]
-    (default {!Spdistal_obs.Trace.null}) receives the "part_eval" phase
-    span. *)
+(** Materialize [prog]'s partitions — and, under the compiled backend
+    (default {!Compile_leaf.default_backend}), specialize its leaf loops —
+    without executing its distributed loops: the value [run] accepts via
+    [?prepared].  [trace] (default {!Spdistal_obs.Trace.null}) receives the
+    "part_eval" and "compile_leaves" phase spans. *)
 val prepare :
   ?trace:Spdistal_obs.Trace.t ->
+  ?backend:Compile_leaf.backend ->
   bindings:Operand.bindings ->
   Spdistal_ir.Loop_ir.prog ->
-  Part_eval.env * Spdistal_ir.Loop_ir.stmt list
+  prepared
+
+(** Swap a prepared program to [backend], reusing its materialized
+    partitions (the expensive part) and respecializing only the leaves.
+    Returns [p] unchanged when its backend already matches. *)
+val relink :
+  ?trace:Spdistal_obs.Trace.t ->
+  bindings:Operand.bindings ->
+  backend:Compile_leaf.backend ->
+  prepared ->
+  prepared
 
 (** Partition-evaluation environment of the last [run], for inspection in
     tests (partitions by name). *)

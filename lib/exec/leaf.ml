@@ -1,6 +1,7 @@
 open Spdistal_runtime
 open Spdistal_formats
 open Spdistal_ir
+module A1 = Bigarray.Array1
 
 type merge_partial = {
   mrows : int array;
@@ -37,7 +38,7 @@ let clear_cache () =
 let expand (t : Tensor.t) =
   (* Keyed by the vals region's unique allocation id: tensor names repeat
      across problems, physical storage does not. *)
-  let key = t.Tensor.vals.Region.id in
+  let key = t.Tensor.vals.Region.F.id in
   Mutex.lock cache_mutex;
   match Hashtbl.find_opt cache key with
   | Some e ->
@@ -84,7 +85,8 @@ let expand (t : Tensor.t) =
 let prewarm t = ignore (expand t)
 
 (* ------------------------------------------------------------------ *)
-(* Kernel classification                                                *)
+(* Kernel classification, shared between the interpreter and the        *)
+(* compiled backend so the two cannot disagree on a kernel's shape.     *)
 (* ------------------------------------------------------------------ *)
 
 type idx_src = Driver_dim of int | Inner_out | Inner_red
@@ -93,12 +95,29 @@ type factor =
   | F_vec of float array * idx_src
   | F_mat of float array * int * idx_src * idx_src
 
-type sink =
-  | S_vec of float array * idx_src
-  | S_mat of float array * int * idx_src * idx_src
-  | S_sparse of float array * int array option
-      (* vals; [Some level_pos] maps leaf positions to output positions
-         (pattern shared above the leaf); [None] writes at the leaf. *)
+(* Where the output lives — resolved to storage per execute call, because
+   warm-start iterations swap the output slot's backing data between
+   launches. *)
+type sink_spec =
+  | Sp_vec of idx_src
+  | Sp_mat of idx_src * idx_src
+  | Sp_sparse of int option
+      (* [Some level] maps leaf positions to output positions at that storage
+         level (pattern shared above the leaf); [None] writes at the leaf. *)
+
+type plan = {
+  pl_driver_name : string;
+  pl_out_name : string;
+  pl_nslots : int;  (* arity of the driver's access *)
+  pl_inner_out : bool;  (* has a dense output var the driver doesn't bind *)
+  pl_inner_red : bool;  (* has a dense reduction var *)
+  pl_jext : int;  (* inner-out extent (0 when absent) *)
+  pl_kext : int;  (* inner-red extent (0 when absent) *)
+  pl_factors : factor array;
+  pl_sink : sink_spec;
+  pl_scale : float;  (* product of literal coefficients *)
+  pl_nnz_split : bool;
+}
 
 let var_pos_opt (acc : Tin.access) v =
   let rec go i = function
@@ -121,14 +140,9 @@ let eval_src coords ~j ~k = function
   | Inner_out -> j
   | Inner_red -> k
 
-(* ------------------------------------------------------------------ *)
-(* Multiplicative kernels                                               *)
-(* ------------------------------------------------------------------ *)
-
-let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
+let plan_mul ~bindings ~(leaf : Loop_ir.leaf) ~driver_name =
   let stmt = leaf.Loop_ir.leaf_stmt in
   let driver = Operand.find_sparse bindings driver_name in
-  let exp = expand driver in
   let ord = Tensor.order driver in
   let driver_acc =
     match
@@ -171,18 +185,17 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
   in
   let sink =
     match (Operand.find bindings out.Tin.tensor).Operand.data with
-    | Operand.Vec v -> (
+    | Operand.Vec _ -> (
         match out.Tin.indices with
-        | [ iv ] -> S_vec (v.Dense.data, src iv)
+        | [ iv ] -> Sp_vec (src iv)
         | _ -> Error.fail ~kernel:out.Tin.tensor Error.Leaf "output vector arity")
-    | Operand.Mat m -> (
+    | Operand.Mat _ -> (
         match out.Tin.indices with
-        | [ r; c ] -> S_mat (m.Dense.data, m.Dense.cols, src r, src c)
+        | [ r; c ] -> Sp_mat (src r, src c)
         | _ -> Error.fail ~kernel:out.Tin.tensor Error.Leaf "output matrix arity")
-    | Operand.Sparse ot ->
+    | Operand.Sparse _ ->
         let depth = List.length out.Tin.indices in
-        if depth = ord then S_sparse (ot.Tensor.vals.Region.data, None)
-        else S_sparse (ot.Tensor.vals.Region.data, Some exp.epos.(depth - 1))
+        if depth = ord then Sp_sparse None else Sp_sparse (Some (depth - 1))
   in
   let extent_of_inner v =
     let rec find = function
@@ -195,22 +208,8 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
     in
     find (out :: Tin.rhs_accesses stmt)
   in
-  let jlo, jhi =
-    match (inner_out, col_range) with
-    | None, _ -> (0, -1)
-    | Some v, None -> (0, extent_of_inner v - 1)
-    | Some _, Some (lo, hi) -> (lo, hi)
-  in
-  let klo, khi =
-    match inner_red with None -> (0, -1) | Some v -> (0, extent_of_inner v - 1)
-  in
-  let dvals = driver.Tensor.vals.Region.data in
-  let nslots = List.length driver_acc.Tin.indices in
-  (* Slot [s] of the driver access binds the driver's logical dimension
-     [s]. *)
-  let coord_arrays = Array.init nslots (fun s -> exp.ecoords.(s)) in
-  let coords = Array.make nslots 0 in
-  let nf = Array.length factors in
+  let jext = match inner_out with None -> 0 | Some v -> extent_of_inner v in
+  let kext = match inner_red with None -> 0 | Some v -> extent_of_inner v in
   (* Literal coefficients multiply through the (fragment-validated: pure)
      product; they were silently dropped before the fuzzer caught it. *)
   let rec lit_product = function
@@ -218,7 +217,97 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
     | Tin.Mul (a, b) -> lit_product a *. lit_product b
     | Tin.Access _ | Tin.Add _ -> 1.
   in
-  let scale = lit_product stmt.Tin.rhs in
+  {
+    pl_driver_name = driver_name;
+    pl_out_name = out.Tin.tensor;
+    pl_nslots = List.length driver_acc.Tin.indices;
+    pl_inner_out = inner_out <> None;
+    pl_inner_red = inner_red <> None;
+    pl_jext = jext;
+    pl_kext = kext;
+    pl_factors = factors;
+    pl_sink = sink;
+    pl_scale = lit_product stmt.Tin.rhs;
+    pl_nnz_split = leaf.Loop_ir.nnz_split;
+  }
+
+(* Inner-loop bounds for one piece (inclusive; empty as [(0, -1)]). *)
+let j_bounds plan ~col_range =
+  match (plan.pl_inner_out, col_range) with
+  | false, _ -> (0, -1)
+  | true, None -> (0, plan.pl_jext - 1)
+  | true, Some (lo, hi) -> (lo, hi)
+
+let k_bounds plan = if plan.pl_inner_red then (0, plan.pl_kext - 1) else (0, -1)
+
+(* Work model: bytes move once per executed access; the output row amortizes
+   over the row's non-zeros (detected by row changes in the sorted
+   iteration).  Shared verbatim by both backends so Cost totals cannot
+   drift. *)
+let mul_work plan ~nnz ~rows_touched ~js ~ks =
+  let n = float_of_int nnz in
+  let rows = float_of_int (max 1 rows_touched) in
+  let nff = float_of_int (Array.length plan.pl_factors) in
+  let js = float_of_int (max 0 js) and ks = float_of_int (max 0 ks) in
+  let flops, read, written =
+    match (plan.pl_inner_out, plan.pl_inner_red) with
+    | false, false -> (2. *. n, (16. +. (8. *. nff)) *. n, 8. *. rows)
+    | true, false ->
+        ( 2. *. n *. js,
+          (16. *. n) +. (8. *. n *. js) +. (8. *. rows *. js),
+          8. *. rows *. js )
+    | false, true -> ((2. *. ks +. 2.) *. n, (16. *. n) +. (16. *. n *. ks), 8. *. n)
+    | true, true -> (0., 0., 0.)
+  in
+  let atomics =
+    plan.pl_nnz_split
+    && (match plan.pl_sink with Sp_sparse None -> false | _ -> true)
+  in
+  { Task.flops; bytes_read = read; bytes_written = written; atomics }
+
+(* ------------------------------------------------------------------ *)
+(* Multiplicative kernels (interpreter)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolved sink storage: looked up per call (see {!sink_spec}). *)
+type sink =
+  | S_vec of float array * idx_src
+  | S_mat of float array * int * idx_src * idx_src
+  | S_sparse of Region.F.buf * int array option
+
+let resolve_sink ~bindings ~exp plan =
+  match (Operand.find bindings plan.pl_out_name).Operand.data with
+  | Operand.Vec v -> (
+      match plan.pl_sink with
+      | Sp_vec s -> S_vec (v.Dense.data, s)
+      | _ -> Error.fail ~kernel:plan.pl_out_name Error.Leaf "output slot changed shape")
+  | Operand.Mat m -> (
+      match plan.pl_sink with
+      | Sp_mat (sr, sc) -> S_mat (m.Dense.data, m.Dense.cols, sr, sc)
+      | _ -> Error.fail ~kernel:plan.pl_out_name Error.Leaf "output slot changed shape")
+  | Operand.Sparse ot -> (
+      match plan.pl_sink with
+      | Sp_sparse None -> S_sparse (ot.Tensor.vals.Region.F.data, None)
+      | Sp_sparse (Some lvl) ->
+          S_sparse (ot.Tensor.vals.Region.F.data, Some exp.epos.(lvl))
+      | _ -> Error.fail ~kernel:plan.pl_out_name Error.Leaf "output slot changed shape")
+
+let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
+  let plan = plan_mul ~bindings ~leaf ~driver_name in
+  let driver = Operand.find_sparse bindings driver_name in
+  let exp = expand driver in
+  let sink = resolve_sink ~bindings ~exp plan in
+  let factors = plan.pl_factors in
+  let jlo, jhi = j_bounds plan ~col_range in
+  let klo, khi = k_bounds plan in
+  let dvals = driver.Tensor.vals.Region.F.data in
+  let nslots = plan.pl_nslots in
+  (* Slot [s] of the driver access binds the driver's logical dimension
+     [s]. *)
+  let coord_arrays = Array.init nslots (fun s -> exp.ecoords.(s)) in
+  let coords = Array.make nslots 0 in
+  let nf = Array.length factors in
+  let scale = plan.pl_scale in
   let eval_factors ~j ~k =
     let acc = ref scale in
     for f = 0 to nf - 1 do
@@ -236,7 +325,7 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
   Iset.iter_intervals
     (fun plo phi ->
       for p = plo to phi do
-        let dv = dvals.(p) in
+        let dv = A1.get dvals p in
         for s = 0 to nslots - 1 do
           coords.(s) <- coord_arrays.(s).(p)
         done;
@@ -245,8 +334,8 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
           last_row := coords.(0)
         end;
         incr nnz;
-        match (inner_out, inner_red) with
-        | None, None -> (
+        match (plan.pl_inner_out, plan.pl_inner_red) with
+        | false, false -> (
             let y = dv *. eval_factors ~j:0 ~k:0 in
             match sink with
             | S_vec (d, s) ->
@@ -257,11 +346,11 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
                   (eval_src coords ~j:0 ~k:0 sr * cols) + eval_src coords ~j:0 ~k:0 sc
                 in
                 d.(i) <- d.(i) +. y
-            | S_sparse (d, None) -> d.(p) <- d.(p) +. y
+            | S_sparse (d, None) -> A1.set d p (A1.get d p +. y)
             | S_sparse (d, Some lp) ->
                 let q = lp.(p) in
-                d.(q) <- d.(q) +. y)
-        | Some _, None ->
+                A1.set d q (A1.get d q +. y))
+        | true, false ->
             for j = jlo to jhi do
               let y = dv *. eval_factors ~j ~k:0 in
               match sink with
@@ -273,17 +362,17 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
                   d.(i) <- d.(i) +. y
               | S_sparse _ -> Error.fail ~kernel:driver_name Error.Leaf "inner-out with sparse output"
             done
-        | None, Some _ -> (
+        | false, true -> (
             let acc = ref 0. in
             for k = klo to khi do
               acc := !acc +. eval_factors ~j:0 ~k
             done;
             let y = dv *. !acc in
             match sink with
-            | S_sparse (d, None) -> d.(p) <- d.(p) +. y
+            | S_sparse (d, None) -> A1.set d p (A1.get d p +. y)
             | S_sparse (d, Some lp) ->
                 let q = lp.(p) in
-                d.(q) <- d.(q) +. y
+                A1.set d q (A1.get d q +. y)
             | S_vec (d, s) ->
                 let i = eval_src coords ~j:0 ~k:0 s in
                 d.(i) <- d.(i) +. y
@@ -292,35 +381,15 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
                   (eval_src coords ~j:0 ~k:0 sr * cols) + eval_src coords ~j:0 ~k:0 sc
                 in
                 d.(i) <- d.(i) +. y)
-        | Some _, Some _ ->
+        | true, true ->
             Error.fail ~kernel:driver_name Error.Leaf
               "simultaneous inner output and reduction vars"
       done)
     shard;
-  (* Work model: bytes move once per executed access; the output row
-     amortizes over the row's non-zeros (detected by row changes in the
-     sorted iteration). *)
-  let n = float_of_int !nnz in
-  let rows = float_of_int (max 1 !rows_touched) in
-  let nff = float_of_int nf in
-  let js = float_of_int (max 0 (jhi - jlo + 1))
-  and ks = float_of_int (max 0 (khi - klo + 1)) in
-  let flops, read, written =
-    match (inner_out, inner_red) with
-    | None, None -> (2. *. n, (16. +. (8. *. nff)) *. n, 8. *. rows)
-    | Some _, None ->
-        ( 2. *. n *. js,
-          (16. *. n) +. (8. *. n *. js) +. (8. *. rows *. js),
-          8. *. rows *. js )
-    | None, Some _ -> ((2. *. ks +. 2.) *. n, (16. *. n) +. (16. *. n *. ks), 8. *. n)
-    | Some _, Some _ -> (0., 0., 0.)
-  in
-  let atomics =
-    leaf.Loop_ir.nnz_split
-    && (match sink with S_sparse (_, None) -> false | _ -> true)
-  in
   {
-    work = { Task.flops; bytes_read = read; bytes_written = written; atomics };
+    work =
+      mul_work plan ~nnz:!nnz ~rows_touched:!rows_touched ~js:(jhi - jlo + 1)
+        ~ks:(khi - klo + 1);
     partial = None;
   }
 
@@ -329,7 +398,10 @@ let mul_kernel ~bindings ~(leaf : Loop_ir.leaf) ~driver_name ~shard ~col_range =
    assembly semantics (the count pass is folded into the byte model).   *)
 (* ------------------------------------------------------------------ *)
 
-let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
+(* Resolved per-operand storage of a merge: (pos, crd, vals) triples. *)
+type merge_op = (int * int) array * int array * Region.F.buf
+
+let merge_ops ~bindings ~tensors : merge_op list * int =
   let ops =
     List.map
       (fun name ->
@@ -338,12 +410,18 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
           Error.fail ~kernel:name Error.Leaf "merge needs matrices";
         ( (Tensor.pos_of t 1).Region.data,
           (Tensor.crd_of t 1).Region.data,
-          t.Tensor.vals.Region.data ))
+          t.Tensor.vals.Region.F.data ))
       tensors
   in
   let cols =
     (Operand.find_sparse bindings (List.hd tensors)).Tensor.dims.(1)
   in
+  (ops, cols)
+
+(* The merge core is shared by both backends (the compiled backend
+   pre-resolves [ops]; the interpreter resolves them per call), so their
+   outputs and work accounting are identical by construction. *)
+let merge_core ~(ops : merge_op list) ~cols ~rows ~use_workspace =
   let flops = ref 0. and br = ref 0. and bw = ref 0. in
   let rows_list = ref [] and counts = ref [] in
   let crd_acc = ref [] and vals_acc = ref [] in
@@ -355,15 +433,15 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
   let workspace_row r emit =
     let idx = ref [] in
     List.iter
-      (fun (pos, crd, vals) ->
-        let lo, hi = (pos : (int * int) array).(r) in
+      (fun ((pos, crd, vals) : merge_op) ->
+        let lo, hi = pos.(r) in
         for p = lo to hi do
           let j = crd.(p) in
           if not touched.(j) then begin
             touched.(j) <- true;
             idx := j :: !idx
           end;
-          w.(j) <- w.(j) +. vals.(p);
+          w.(j) <- w.(j) +. A1.get vals p;
           flops := !flops +. 1.;
           (* value + crd reads, workspace read-modify-write *)
           br := !br +. 32.
@@ -380,7 +458,7 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
   let merge_row r emit =
     let cursors =
       List.map
-        (fun (pos, crd, vals) ->
+        (fun ((pos, crd, vals) : merge_op) ->
           let lo, hi = pos.(r) in
           (ref lo, hi, crd, vals))
         ops
@@ -396,7 +474,7 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
         List.iter
           (fun (i, hi, crd, vals) ->
             while !i <= hi && crd.(!i) = mincol do
-              sum := !sum +. vals.(!i);
+              sum := !sum +. A1.get vals !i;
               flops := !flops +. 1.;
               br := !br +. 16.;
               incr i
@@ -437,6 +515,10 @@ let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
       { Task.flops = !flops; bytes_read = !br; bytes_written = !bw; atomics = false };
     partial = Some partial;
   }
+
+let merge_kernel ~bindings ~tensors ~rows ~use_workspace =
+  let ops, cols = merge_ops ~bindings ~tensors in
+  merge_core ~ops ~cols ~rows ~use_workspace
 
 let execute ~bindings ~leaf ~shard_vals ~rows ~col_range () =
   match leaf.Loop_ir.driver with

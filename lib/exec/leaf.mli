@@ -21,6 +21,79 @@ type merge_partial = {
 
 type result = { work : Task.work; partial : merge_partial option }
 
+(** {1 Shared kernel classification}
+
+    The compiled backend ({!Compile_leaf}) reuses the interpreter's
+    classification and work model, so the two backends cannot disagree on a
+    kernel's shape or its Cost accounting; only the element loop differs. *)
+
+(** Where an index of a dense operand access comes from. *)
+type idx_src =
+  | Driver_dim of int  (** slot of the driver's access *)
+  | Inner_out  (** dense output var the driver doesn't bind *)
+  | Inner_red  (** dense reduction var *)
+
+type factor =
+  | F_vec of float array * idx_src
+  | F_mat of float array * int * idx_src * idx_src
+
+(** Output shape; storage is re-resolved per execute call because warm-start
+    iterations swap the output slot's backing data between launches. *)
+type sink_spec =
+  | Sp_vec of idx_src
+  | Sp_mat of idx_src * idx_src
+  | Sp_sparse of int option
+      (** [Some level]: leaf positions map to output positions at that
+          storage level; [None] writes at the leaf *)
+
+type plan = {
+  pl_driver_name : string;
+  pl_out_name : string;
+  pl_nslots : int;
+  pl_inner_out : bool;
+  pl_inner_red : bool;
+  pl_jext : int;
+  pl_kext : int;
+  pl_factors : factor array;
+  pl_sink : sink_spec;
+  pl_scale : float;
+  pl_nnz_split : bool;
+}
+
+(** Classify a multiplicative leaf. Raises [Error.Leaf] on unsupported
+    shapes (second sparse operand, arity mismatches, missing extents). *)
+val plan_mul :
+  bindings:Operand.bindings ->
+  leaf:Spdistal_ir.Loop_ir.leaf ->
+  driver_name:string ->
+  plan
+
+(** Inclusive inner-loop bounds for one piece (empty as [(0, -1)]). *)
+val j_bounds : plan -> col_range:(int * int) option -> int * int
+
+val k_bounds : plan -> int * int
+
+(** The simulated-work model of a multiplicative leaf, shared verbatim by
+    both backends.  [js]/[ks] are the executed inner extents
+    ([jhi - jlo + 1]). *)
+val mul_work :
+  plan -> nnz:int -> rows_touched:int -> js:int -> ks:int -> Task.work
+
+(** Per-operand resolved storage of a merge: (pos, crd, vals) triples. *)
+type merge_op = (int * int) array * int array * Region.F.buf
+
+(** Resolve the merge operands' storage and the shared column extent. *)
+val merge_ops :
+  bindings:Operand.bindings -> tensors:string list -> merge_op list * int
+
+(** The k-way merge / workspace core, shared by both backends. *)
+val merge_core :
+  ops:merge_op list ->
+  cols:int ->
+  rows:Iset.t ->
+  use_workspace:bool ->
+  result
+
 (** [execute ~bindings ~leaf ~shard_vals ~rows ~col_range ()] runs the leaf
     for one piece.  [shard_vals t] is the piece's subset of tensor [t]'s leaf
     positions; [rows] is the piece's row set (merge kernels); [col_range] an

@@ -99,7 +99,7 @@ let copy_data = function
                 | Level.Singleton { crd } ->
                     Level.Singleton { crd = copy_region crd })
               t.Tensor.levels;
-          vals = copy_region t.Tensor.vals;
+          vals = Spdistal_runtime.Region.F.copy t.Tensor.vals;
         }
 
 let meta = function

@@ -90,7 +90,7 @@ let rec eval_aexpr env ~color e =
 let rref_ispace env = function
   | Loop_ir.Pos_r (t, k) -> (Tensor.pos_of (sparse env t) k).Region.ispace
   | Loop_ir.Crd_r (t, k) -> (Tensor.crd_of (sparse env t) k).Region.ispace
-  | Loop_ir.Vals_r t -> (sparse env t).Tensor.vals.Region.ispace
+  | Loop_ir.Vals_r t -> (sparse env t).Tensor.vals.Region.F.ispace
   | Loop_ir.Dom_r (t, k) -> (
       match data env t with
       | Operand.Sparse tn -> Iset.range (Tensor.level_extent tn k)

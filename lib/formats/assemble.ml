@@ -40,7 +40,7 @@ let fill st ~row_fill ~name ~dims =
             crd = Region.of_array (name ^ ".crd") (Array.sub crd 0 (max st.total 1));
           };
       |];
-    vals = Region.of_array (name ^ ".vals") (Array.sub vals 0 (max st.total 1));
+    vals = Region.F.of_array (name ^ ".vals") (Array.sub vals 0 (max st.total 1));
   }
 
 let copy_pattern ~name ?levels (src : Tensor.t) =
@@ -65,5 +65,5 @@ let copy_pattern ~name ?levels (src : Tensor.t) =
     dims;
     mode_order;
     levels;
-    vals = Region.of_array (name ^ ".vals") (Array.make (max extent 1) 0.);
+    vals = Region.F.create (name ^ ".vals") (max extent 1) 0.;
   }

@@ -5,15 +5,15 @@ type t = {
   dims : int array;
   mode_order : int array;
   levels : Level.t array;
-  vals : float Region.t;
+  vals : Region.F.t;
 }
 
 let order t = Array.length t.dims
-let nnz t = Region.extent t.vals
+let nnz t = Region.F.extent t.vals
 
 let bytes t =
   Array.fold_left (fun n l -> n + Level.bytes l) 0 t.levels
-  + Region.bytes ~elt_bytes:8 t.vals
+  + Region.F.bytes t.vals
 
 let level_extent t k =
   let e = ref 1 in
@@ -116,7 +116,7 @@ let of_coo ~name ~formats ?mode_order ?(assume_sorted = false) coo =
   done;
   let dims = Array.make ord 0 in
   Array.iteri (fun k logical -> dims.(logical) <- dims_storage.(k)) mode_order;
-  { name; dims; mode_order; levels; vals = Region.of_array (name ^ ".vals") vals }
+  { name; dims; mode_order; levels; vals = Region.F.of_array (name ^ ".vals") vals }
 
 let csr ~name coo =
   of_coo ~name ~formats:[| Level.Dense_k; Level.Compressed_k |] coo
@@ -142,7 +142,7 @@ let iter_nnz t f =
   let ord = order t in
   let coords = Array.make ord 0 in
   let rec go k parent_pos =
-    if k = ord then f coords parent_pos (Region.get t.vals parent_pos)
+    if k = ord then f coords parent_pos (Region.F.get t.vals parent_pos)
     else
       match t.levels.(k) with
       | Level.Dense { dim } ->
@@ -171,7 +171,7 @@ let get t coords =
   let ord = order t in
   if Array.length coords <> ord then invalid_arg "Tensor.get";
   let rec go k parent_pos =
-    if k = ord then Region.get t.vals parent_pos
+    if k = ord then Region.F.get t.vals parent_pos
     else
       let c = coords.(t.mode_order.(k)) in
       match t.levels.(k) with

@@ -12,7 +12,7 @@ type t = {
   dims : int array;  (** logical dimension sizes *)
   mode_order : int array;  (** storage level -> logical dimension *)
   levels : Level.t array;  (** one per level, storage order *)
-  vals : float Region.t;
+  vals : Region.F.t;  (** Bigarray-backed value buffer, leaf-position indexed *)
 }
 
 val order : t -> int

@@ -5,6 +5,8 @@
    - the full pipeline (Lower -> Part_eval -> Placement -> Interp) against
      the dense reference evaluator, within float tolerances;
    - build determinism: rebuilding and re-running is bit-identical;
+   - backend equivalence: the compiled leaf closures and the reference
+     interpreter produce bit-identical outputs and costs;
    - domain invariance: the host simulation degree never changes outputs or
      costs (PR-1 invariant);
    - fault invariance: an injected fault schedule never changes outputs
@@ -32,8 +34,8 @@ type exec_result =
   | Rejected of string
   | Crashed of string
 
-let exec ?(domains = 1) ?(faults = Fault.disabled) p =
-  match Spdistal.run ~domains ~faults p with
+let exec ?(domains = 1) ?(faults = Fault.disabled) ?leaf_backend p =
+  match Spdistal.run ~domains ~faults ?leaf_backend p with
   | { cost; dnc = None; _ } -> Ran cost
   | { dnc = Some reason; _ } -> Dnc reason
   | exception Invalid_argument m -> Rejected m
@@ -114,6 +116,34 @@ let run spec =
     | Dnc r -> stop (fail "rebuild-determinism" "DNC only on rebuild: %s" r)
     | Rejected m | Crashed m ->
         stop (fail "rebuild-determinism" "failed on rebuild: %s" m));
+    (* backend equivalence: the compiled leaf closures and the reference
+       interpreter must agree bit for bit — outputs, launch records (via the
+       cost signature's launch counters) and Cost.  Run the case again under
+       whichever backend the base run did not use. *)
+    (let other =
+       match Compile_leaf.default_backend () with
+       | Compile_leaf.Compiled -> Compile_leaf.Interp
+       | Compile_leaf.Interp -> Compile_leaf.Compiled
+     in
+     let p_b = Spec.build spec in
+     match exec ~leaf_backend:other p_b with
+     | Ran cost_b
+       when Snapshot.equal base_out (Snapshot.outputs p_b)
+            && Snapshot.equal base_cost (Snapshot.cost cost_b) ->
+         ()
+     | Ran _ ->
+         stop
+           (fail "backend-equivalence"
+              "outputs or cost differ under the %s leaf backend"
+              (Compile_leaf.backend_name other))
+     | Dnc r ->
+         stop
+           (fail "backend-equivalence" "DNC only under the %s leaf backend: %s"
+              (Compile_leaf.backend_name other) r)
+     | Rejected m | Crashed m ->
+         stop
+           (fail "backend-equivalence" "failed under the %s leaf backend: %s"
+              (Compile_leaf.backend_name other) m));
     (* domain invariance (PR-1) *)
     if spec.Spec.domains > 1 then begin
       let p3 = Spec.build spec in

@@ -2,9 +2,12 @@
 
     Properties checked, in order: sub-language round-trips (spec line, TIN
     statement, schedule), the full pipeline against the dense reference
-    evaluator ({!Spdistal_exec.Validate}), rebuild determinism, simulation
-    domain invariance, and fault invariance.  DNC (OOM / recovery
-    exhaustion) is a legitimate outcome, reported as [Skip]. *)
+    evaluator ({!Spdistal_exec.Validate}), rebuild determinism, leaf-backend
+    equivalence (the compiled closures and the reference interpreter must be
+    bit-identical in outputs and cost — whichever backend the process
+    default did not select is re-run on a fresh build), simulation domain
+    invariance, and fault invariance.  DNC (OOM / recovery exhaustion) is a
+    legitimate outcome, reported as [Skip]. *)
 
 type failure = { prop : string; detail : string }
 

@@ -33,7 +33,7 @@ let snap_data = function
                   C (Array.copy pos.Region.data, Array.copy crd.Region.data)
               | Level.Singleton { crd } -> S (Array.copy crd.Region.data))
             t.Tensor.levels,
-          bits t.Tensor.vals.Region.data )
+          bits (Region.F.to_array t.Tensor.vals) )
 
 let outputs p =
   Outputs

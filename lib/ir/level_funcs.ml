@@ -226,3 +226,75 @@ let partition_from_child ctx ~child =
 let vals_partition ~tensor ~leaf_down =
   let p = tensor ^ "ValsPart" in
   ([ Def_partition { pname = p; expr = Copy_part leaf_down } ], p)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled level iterators (paper §III-B / Chou et al.'s level
+   functions): the per-kind position walk and locate functions,
+   pre-resolved to closed closures over the level's storage so a compiled
+   leaf loop carries no per-element format dispatch.                     *)
+(* ------------------------------------------------------------------ *)
+
+module Region = Spdistal_runtime.Region
+module Error = Spdistal_runtime.Error
+
+type level_iter = {
+  li_locate : int -> int;
+      (* position at this level -> its parent-level position *)
+  li_iter : parent:int -> from:int -> (int -> int -> unit) -> unit;
+      (* iterate [(coordinate, position)] pairs under [parent] in storage
+         order, starting at position [from] ([-1] = the parent's first) *)
+}
+
+let iter_of_level (l : Level.t) =
+  match l with
+  | Level.Dense { dim } ->
+      {
+        li_locate = (fun p -> p / dim);
+        li_iter =
+          (fun ~parent ~from emit ->
+            let base = parent * dim in
+            let start = if from < 0 then base else from in
+            for p = start to base + dim - 1 do
+              emit (p - base) p
+            done);
+      }
+  | Level.Compressed { pos; crd } ->
+      let posd = pos.Region.data and crdd = crd.Region.data in
+      let n = Array.length posd in
+      {
+        li_locate =
+          (fun p ->
+            (* The ranges are monotone and non-overlapping (empty parents
+               are normalized to [(c, c-1)]), so binary search finds the
+               unique parent whose range holds [p]. *)
+            let rec bs lo hi =
+              if lo > hi then
+                Error.fail Error.Leaf
+                  "compiled level iterator: position %d outside the pos \
+                   ranges of a compressed level (%d parents)"
+                  p n
+              else
+                let mid = (lo + hi) / 2 in
+                let l, h = posd.(mid) in
+                if p < l then bs lo (mid - 1)
+                else if p > h then bs (mid + 1) hi
+                else mid
+            in
+            bs 0 (n - 1));
+        li_iter =
+          (fun ~parent ~from emit ->
+            let lo, hi = posd.(parent) in
+            let start = if from < 0 then lo else from in
+            for p = start to hi do
+              emit crdd.(p) p
+            done);
+      }
+  | Level.Singleton { crd } ->
+      let crdd = crd.Region.data in
+      {
+        li_locate = (fun p -> p);
+        li_iter =
+          (fun ~parent ~from emit ->
+            ignore from;
+            emit crdd.(parent) parent);
+      }

@@ -68,3 +68,23 @@ val vals_partition : tensor:string -> leaf_down:string -> stmt list * string
 (** Canonical partition name, e.g. [part_name ctx "CrdPart"] =
     ["B2CrdPart"]. *)
 val part_name : ctx -> string -> string
+
+(** {1 Compiled level iterators}
+
+    Per-kind position walks pre-resolved to closed closures over the level's
+    storage (dense / compressed / compressed-nonunique / singleton — the
+    non-unique variant shares the [Compressed] representation), so a
+    compiled leaf loop carries no per-element format dispatch. *)
+
+type level_iter = {
+  li_locate : int -> int;
+      (** position at this level -> its parent-level position (dense:
+          [p / dim]; compressed: binary search of the monotone pos ranges;
+          singleton: identity) *)
+  li_iter : parent:int -> from:int -> (int -> int -> unit) -> unit;
+      (** [li_iter ~parent ~from emit] calls [emit coordinate position] for
+          this level's positions under [parent] in storage order, starting
+          at position [from] ([-1] = the parent's first position) *)
+}
+
+val iter_of_level : Spdistal_formats.Level.t -> level_iter

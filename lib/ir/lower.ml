@@ -1,6 +1,7 @@
 open Loop_ir
 module Level = Spdistal_formats.Level
 module Partition = Spdistal_runtime.Partition
+module Error = Spdistal_runtime.Error
 
 type operand =
   | Sparse_op of { formats : Level.kind array; mode_order : int array }
@@ -195,7 +196,13 @@ let comm_for_dense_operand env ~driver ~driver_acc ~driver_tp ~strategy ~colorin
       ([], { comm_tensor = xname; comm_dim = 0; comm_part = None; divide_by })
   | Some (g, lpos) -> (
       let gpos_in_x =
-        match var_pos x_acc g with Some p -> p | None -> assert false
+        match var_pos x_acc g with
+        | Some p -> p
+        | None ->
+            Error.fail ~kernel:xname Error.Compile
+              "comm_for_dense_operand: shared variable %s (position %d of \
+               driver %s's access) is missing from %s's access"
+              g lpos driver xname
       in
       let kg = storage_level driver_op lpos in
       match (level_kind driver_op kg, strategy) with

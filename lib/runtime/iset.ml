@@ -44,21 +44,16 @@ let max_elt = function
 let equal (a : t) (b : t) = a = b
 
 let union a b =
-  (* Merge two canonical lists. *)
-  let rec merge a b =
+  (* Merge two canonical lists.  Tail-recursive: partitions over large
+     fragmented index spaces routinely produce interval lists in the
+     millions, where a naive [x :: merge a' b] would overflow the stack. *)
+  let rec merge acc a b =
     match (a, b) with
-    | [], l | l, [] -> l
-    | (alo, _) :: _, (blo, _) :: _ ->
-        if alo <= blo then
-          match a with
-          | x :: a' -> x :: merge a' b
-          | [] -> assert false
-        else
-          match b with
-          | x :: b' -> x :: merge a b'
-          | [] -> assert false
+    | [], l | l, [] -> List.rev_append acc l
+    | ((alo, _) as x) :: a', ((blo, _) as y) :: b' ->
+        if alo <= blo then merge (x :: acc) a' b else merge (y :: acc) a b'
   in
-  normalize_sorted (merge a b)
+  normalize_sorted (merge [] a b)
 
 let inter a b =
   let rec go a b acc =

@@ -129,8 +129,13 @@ let map t f n =
     match !first_error with
     | Some (_, (e, bt)) -> Printexc.raise_with_backtrace e bt
     | None ->
-        Array.map
-          (function Some v -> v | None -> assert false)
+        Array.mapi
+          (fun i -> function
+            | Some v -> v
+            | None ->
+                Error.fail ~piece:i Error.Launch
+                  "domain pool: piece job %d of %d finished without a result"
+                  i n)
           results
   end
 

@@ -37,3 +37,42 @@ val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 
 (** Footprint in bytes given per-element size. *)
 val bytes : elt_bytes:int -> 'a t -> int
+
+(** Float regions over Bigarray storage: unboxed, GC-opaque, C-layout value
+    buffers, matching the flat buffers a real runtime hands to compiled leaf
+    tasks.  Used for tensor values; index (pos/crd) storage stays on ['a t]. *)
+module F : sig
+  type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = private {
+    name : string;
+    id : int;  (** unique per allocation *)
+    ispace : Iset.t;  (** valid indices *)
+    data : buf;  (** backing store, addressed by global index *)
+  }
+
+  (** [create name n init] makes a region over [{0..n-1}] filled with
+      [init] (Bigarray buffers are not zero-initialized by default). *)
+  val create : string -> int -> float -> t
+
+  (** [of_array name a] copies [a] into a fresh buffer. *)
+  val of_array : string -> float array -> t
+
+  val to_array : t -> float array
+
+  (** Fresh region (new id) with a copied buffer. *)
+  val copy : t -> t
+
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val size : t -> int
+
+  (** Number of addressable slots in the backing store. *)
+  val extent : t -> int
+
+  val iter : (int -> float -> unit) -> t -> unit
+  val fold : (int -> float -> 'b -> 'b) -> t -> 'b -> 'b
+
+  (** Footprint in bytes (8 B elements). *)
+  val bytes : t -> int
+end

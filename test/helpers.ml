@@ -186,10 +186,11 @@ let comm_spmv ?(pieces = 3) ?(seed = 66) () =
     ~stmt:Spdistal_ir.Tin.spmv
     ~schedule:(Core.Kernels.spmv_row ())
 
-let run_traced ?domains ?faults ?iterations ?cache problem =
+let run_traced ?domains ?faults ?iterations ?cache ?leaf_backend problem =
   let trace = Spdistal_obs.Trace.create () in
   let res =
-    Core.Spdistal.run ?domains ?faults ?iterations ?cache ~trace problem
+    Core.Spdistal.run ?domains ?faults ?iterations ?cache ?leaf_backend ~trace
+      problem
   in
   (res, trace)
 

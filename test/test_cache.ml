@@ -236,8 +236,8 @@ let test_digest_ignores_values () =
   let d0 = digest_of p in
   (match (Operand.find (S.bindings p) "B").Operand.data with
   | Operand.Sparse t ->
-      let vals = t.Spdistal_formats.Tensor.vals.Region.data in
-      vals.(0) <- vals.(0) +. 1.
+      let vals = t.Spdistal_formats.Tensor.vals in
+      Region.F.set vals 0 (Region.F.get vals 0 +. 1.)
   | _ -> Alcotest.fail "B is not sparse");
   Alcotest.(check string) "value update keeps the digest" d0 (digest_of p);
   (* A different pattern (other seed) changes it. *)
@@ -248,6 +248,65 @@ let test_digest_ignores_values () =
   Alcotest.(check bool)
     "pattern change changes the digest" true
     (d0 <> digest_of p2)
+
+let test_digest_sees_machine_params () =
+  (* The digest renders the machine params field by field (Marshal's byte
+     layout is not a stable canonical form): perturbing any single field —
+     including ones the simulated kernel may never consult — must change
+     the key, because a cached plan priced under different params is stale. *)
+  let problem_with params =
+    Core.Kernels.spmv_problem
+      ~machine:(S.machine ~params ~kind:Machine.Cpu [| 8 |])
+      (Helpers.rand_csr ~seed:71 80 80 0.06)
+  in
+  let base = Machine.lassen in
+  let d0 = digest_of (problem_with base) in
+  Alcotest.(check string)
+    "same params, same digest" d0
+    (digest_of (problem_with { base with Machine.cpu_cores = base.Machine.cpu_cores }));
+  let perturbed =
+    [
+      ("scaled 2x", Machine.scale_params 2.0 base);
+      ("cpu_cores+1", { base with Machine.cpu_cores = base.Machine.cpu_cores + 1 });
+      ("gpus_per_node+1",
+       { base with Machine.gpus_per_node = base.Machine.gpus_per_node + 1 });
+      ("task_overhead*2",
+       { base with Machine.task_overhead = base.Machine.task_overhead *. 2. });
+      ("atomic_penalty_cpu*2",
+       { base with
+         Machine.atomic_penalty_cpu = base.Machine.atomic_penalty_cpu *. 2. });
+      ("atomic_penalty_gpu*2",
+       { base with
+         Machine.atomic_penalty_gpu = base.Machine.atomic_penalty_gpu *. 2. });
+      ("legion_leaf_efficiency/2",
+       { base with
+         Machine.legion_leaf_efficiency =
+           base.Machine.legion_leaf_efficiency /. 2. });
+      ("uvm_page_bw*2",
+       { base with Machine.uvm_page_bw = base.Machine.uvm_page_bw *. 2. });
+      (* A tiny relative nudge: %h rendering is exact, so even the last bit
+         of a float must be visible to the key. *)
+      ("net_alpha ulp-ish",
+       { base with Machine.net_alpha = base.Machine.net_alpha *. (1. +. 1e-15) });
+    ]
+  in
+  List.iter
+    (fun (what, params) ->
+      Alcotest.(check bool)
+        (what ^ " changes the digest")
+        true
+        (d0 <> digest_of (problem_with params)))
+    perturbed;
+  (* Grid and kind perturbations, same params. *)
+  let with_machine machine =
+    Core.Kernels.spmv_problem ~machine (Helpers.rand_csr ~seed:71 80 80 0.06)
+  in
+  Alcotest.(check bool)
+    "grid change changes the digest" true
+    (d0 <> digest_of (with_machine (S.machine ~params:base ~kind:Machine.Cpu [| 4 |])));
+  Alcotest.(check bool)
+    "kind change changes the digest" true
+    (d0 <> digest_of (with_machine (S.machine ~params:base ~kind:Machine.Gpu [| 8 |])))
 
 (* ------------------------------------------------------------------ *)
 (* Fault-driven invalidation                                           *)
@@ -331,6 +390,8 @@ let suite =
       test_digest_injective;
     Alcotest.test_case "digest ignores stored values" `Quick
       test_digest_ignores_values;
+    Alcotest.test_case "digest sees every machine param" `Quick
+      test_digest_sees_machine_params;
     Alcotest.test_case "crash invalidates the entry" `Quick
       test_crash_invalidates;
     Alcotest.test_case "context reuse: all hits" `Quick

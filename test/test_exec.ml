@@ -271,6 +271,64 @@ let prop_random_spadd3 =
            < 1e-9
       end)
 
+(* --- Compiled vs interpreter leaf backends ------------------------------ *)
+
+(* The compiled closures must be indistinguishable from the reference
+   interpreter: bit-identical outputs, launch records and Cost, on every
+   kernel of the catalog, under fault injection, and across warm-cache
+   iterations (which replay cached compiled leaves). *)
+
+let launch_sig trace =
+  let module Trace = Spdistal_obs.Trace in
+  List.map
+    (fun sp ->
+      ( sp.Trace.sp_name,
+        Int64.bits_of_float sp.Trace.sp_start,
+        Int64.bits_of_float sp.Trace.sp_dur ))
+    (Helpers.launch_spans trace)
+
+let run_with backend ?faults ?iterations make =
+  let p = make () in
+  let res, trace =
+    Helpers.run_traced ?faults ?iterations ~leaf_backend:backend p
+  in
+  match res.Core.Spdistal.dnc with
+  | Some r -> `Dnc r
+  | None ->
+      `Ok
+        ( Helpers.snapshot p,
+          Helpers.cost_sig res.Core.Spdistal.cost,
+          launch_sig trace )
+
+let check_backends_agree name ?faults ?iterations make =
+  let ri = run_with Compile_leaf.Interp ?faults ?iterations make in
+  let rc = run_with Compile_leaf.Compiled ?faults ?iterations make in
+  match (ri, rc) with
+  | `Dnc a, `Dnc b -> Alcotest.(check string) (name ^ ": same DNC") a b
+  | `Ok (o_i, c_i, l_i), `Ok (o_c, c_c, l_c) ->
+      Alcotest.(check bool)
+        (name ^ ": outputs bit-identical")
+        true
+        (Spdistal_fuzz.Snapshot.equal o_i o_c);
+      Alcotest.(check bool)
+        (name ^ ": cost bit-identical")
+        true
+        (Spdistal_fuzz.Snapshot.equal c_i c_c);
+      Alcotest.(check bool) (name ^ ": launch records identical") true (l_i = l_c)
+  | `Dnc r, `Ok _ -> Alcotest.fail (name ^ ": DNC only on interp: " ^ r)
+  | `Ok _, `Dnc r -> Alcotest.fail (name ^ ": DNC only on compiled: " ^ r)
+
+let test_backend_equivalence_sweep () =
+  List.iter
+    (fun (name, make) ->
+      check_backends_agree name make;
+      check_backends_agree
+        (name ^ "+faults")
+        ~faults:(Fault.make ~seed:5 ~rate:0.1 ~retries:8 ())
+        make;
+      check_backends_agree (name ^ "+warm") ~iterations:3 make)
+    (Helpers.kernel_problems () @ Helpers.nnz_kernel_problems ())
+
 let suite =
   [
     Alcotest.test_case "operand bindings" `Quick test_operand;
@@ -291,6 +349,8 @@ let suite =
       test_placement_matching_avoids_comm;
     Alcotest.test_case "workspace SpAdd3 = merge SpAdd3" `Quick
       test_workspace_spadd3;
+    Alcotest.test_case "compiled = interp leaves (catalog, faults, warm)" `Slow
+      test_backend_equivalence_sweep;
     prop_random_spmv;
     prop_random_spadd3;
   ]

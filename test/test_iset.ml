@@ -116,6 +116,34 @@ let test_edge_cases () =
   Alcotest.(check int) "punching a hole splits" 2 (Iset.interval_count d);
   check_list "hole contents" [ 0; 1; 2; 3; 5; 6; 7 ] (Iset.elements d)
 
+(* Stack-safety at partition scale: 10^6 disjoint intervals.  [union]'s merge
+   used to be non-tail-recursive and overflowed the stack well below this. *)
+let big_iset ~offset ~n =
+  Iset.of_intervals (List.init n (fun i -> ((6 * i) + offset, (6 * i) + offset + 1)))
+
+let test_large_interval_lists () =
+  let n = 1_000_000 in
+  let a = big_iset ~offset:0 ~n and b = big_iset ~offset:3 ~n in
+  let u = Iset.union a b in
+  Alcotest.(check int) "union interval count" (2 * n) (Iset.interval_count u);
+  Alcotest.(check int) "union cardinal" (4 * n) (Iset.cardinal u);
+  Alcotest.(check bool) "inter of disjoint" true (Iset.is_empty (Iset.inter a b));
+  Alcotest.(check bool) "diff recovers left operand" true
+    (Iset.equal a (Iset.diff u b));
+  Alcotest.(check bool) "union with self is identity" true
+    (Iset.equal a (Iset.union a a))
+
+let prop_union_inter_large =
+  Helpers.qtest ~count:3 "union/inter/diff identities at 1e6 intervals"
+    QCheck.(pair (int_range 0 2) (int_range 3 4))
+    (fun (off_a, off_b) ->
+      let n = 1_000_000 in
+      let a = big_iset ~offset:off_a ~n and b = big_iset ~offset:off_b ~n in
+      let u = Iset.union a b in
+      Iset.cardinal u = Iset.cardinal a + Iset.cardinal b - Iset.cardinal (Iset.inter a b)
+      && Iset.equal u (Iset.union (Iset.diff u b) b)
+      && Iset.subset a u && Iset.subset b u)
+
 let prop_diff_union_partition =
   Helpers.qtest "diff and inter partition the left operand"
     QCheck.(pair Helpers.arb_iset Helpers.arb_iset)
@@ -128,6 +156,8 @@ let suite =
     Alcotest.test_case "queries" `Quick test_queries;
     Alcotest.test_case "operations" `Quick test_operations;
     Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    Alcotest.test_case "1e6-interval lists" `Quick test_large_interval_lists;
+    prop_union_inter_large;
     prop_union;
     prop_inter;
     prop_diff;
