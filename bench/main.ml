@@ -505,6 +505,65 @@ let run_leaf_throughput () =
   Printf.printf "compiled/interp leaf throughput: %.2fx (CSV: %s)\n%!" ratio
     path
 
+(* ------------------------------------------------------------------ *)
+(* Serving: the multi-tenant front-end under four scenarios — steady   *)
+(* load, an overload burst, sustained faults, and both at once.  Every *)
+(* run must keep answering (no crash) and hold the cache byte budget;  *)
+(* the CSV records latency percentiles, hit/shed rates and throughput  *)
+(* against the single-tenant (cold, unshared) baseline.                *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve () =
+  let open Spdistal_serve in
+  let jobs = if quick then 80 else 240 in
+  let gen burst =
+    { Workload.default_gen with Workload.g_jobs = jobs; g_rate = 300.; g_burst = burst }
+  in
+  let burst = Some (0.05, 0.15, 4.) in
+  let faults = Spdistal_runtime.Fault.make ~seed:42 ~rate:0.1 () in
+  let scenarios =
+    [
+      ("steady", gen None, Spdistal_runtime.Fault.disabled);
+      ("overload", gen burst, Spdistal_runtime.Fault.disabled);
+      ("chaos", gen None, faults);
+      ("overload+chaos", gen burst, faults);
+    ]
+  in
+  print_endline
+    "=== Serving (multi-tenant front-end: admission, deadlines, LRU budget, \
+     degradation) ===";
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = "results/serve.csv" in
+  let oc = open_out path in
+  output_string oc (Server.csv_header ^ "\n");
+  List.iter
+    (fun (scenario, gen, faults) ->
+      let w = Workload.generate ~gen ~catalog:Catalog.names () in
+      let cfg = { Server.default_config with Server.s_faults = faults } in
+      let r = Server.run ~baseline:true cfg w in
+      (match cfg.Server.s_cache_budget with
+      | Some budget when r.Server.r_cache.Spdistal_exec.Cache.bytes_peak > budget ->
+          Printf.printf "WARNING: %s exceeded the cache byte budget (%d > %d)\n"
+            scenario r.Server.r_cache.Spdistal_exec.Cache.bytes_peak budget
+      | _ -> ());
+      Printf.printf
+        "%-15s %3d/%3d completed, %5.1f%% shed, p50 %8.3f ms, p99 %8.3f ms, \
+         %5.1f%% hits, %7.2f jobs/s%s\n%!"
+        scenario r.Server.r_completed r.Server.r_jobs
+        (100. *. r.Server.r_shed_rate)
+        r.Server.r_p50_ms r.Server.r_p99_ms
+        (100. *. r.Server.r_hit_rate)
+        r.Server.r_throughput
+        (match r.Server.r_baseline_throughput with
+        | Some b when b > 0. ->
+            Printf.sprintf " (%.2fx single-tenant)" (r.Server.r_throughput /. b)
+        | _ -> "");
+      output_string oc (Server.csv_row ~scenario r ^ "\n"))
+    scenarios;
+  close_out oc;
+  Printf.printf "serve scenarios written: %s\n" path
+
 let section title f =
   let t0 = Unix.gettimeofday () in
   Printf.printf "\n";
@@ -516,10 +575,20 @@ let leaf_only =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+let serve_only =
+  match Sys.getenv_opt "BENCH_SERVE_ONLY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let () =
   if leaf_only then begin
     (* CI smoke mode: just the leaf-throughput microbench and its CSV. *)
     section "leaf-throughput" run_leaf_throughput;
+    exit 0
+  end;
+  if serve_only then begin
+    (* CI smoke mode: just the serve scenario sweep and its CSV. *)
+    section "serve" run_serve;
     exit 0
   end;
   Printf.printf "SpDISTAL reproduction benchmark harness%s\n"
@@ -534,6 +603,7 @@ let () =
   run_domain_scaling ();
   section "fault-sweep" run_fault_sweep;
   section "amortization" run_amortization;
+  section "serve" run_serve;
   (match Sys.getenv_opt "BENCH_TRACE_DIR" with
   | Some dir -> section "trace-export" (fun () -> run_trace_exports dir)
   | None -> ());

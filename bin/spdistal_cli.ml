@@ -507,6 +507,220 @@ let fuzz_cmd =
       $ fault_prob_arg $ budget_arg $ verbose_arg $ inject_bug_arg $ replay_arg
       $ corpus_arg $ out_arg $ domains_arg $ leaf_backend_arg)
 
+let serve_cmd =
+  let open Spdistal_serve in
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay the workload trace in $(docv) (written by \
+             $(b,--save-trace)) instead of generating one.")
+  in
+  let save_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"Write the (generated or replayed) workload trace to $(docv).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int Workload.default_gen.Workload.g_jobs
+      & info [ "jobs" ] ~docv:"N" ~doc:"Jobs in the generated trace")
+  in
+  let tenants_arg =
+    Arg.(
+      value & opt int Workload.default_gen.Workload.g_tenants
+      & info [ "tenants" ] ~docv:"N" ~doc:"Tenants in the generated trace")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float Workload.default_gen.Workload.g_rate
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Mean arrivals per simulated second (Poisson)")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float Workload.default_gen.Workload.g_alpha
+      & info [ "alpha" ] ~docv:"A" ~doc:"Zipf exponent of query popularity")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int Workload.default_gen.Workload.g_seed
+      & info [ "seed" ] ~docv:"S" ~doc:"Workload generator seed")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float Workload.default_gen.Workload.g_deadline
+      & info [ "deadline" ] ~docv:"D"
+          ~doc:"Mean relative deadline, simulated seconds")
+  in
+  let burst_conv =
+    let parse s =
+      match String.split_on_char ',' s with
+      | [ a; b; c ] -> (
+          match
+            (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c)
+          with
+          | Some a, Some b, Some c -> Ok (a, b, c)
+          | _ -> Error (`Msg "burst must be START,LEN,MULT (floats)"))
+      | _ -> Error (`Msg "burst must be START,LEN,MULT")
+    in
+    Arg.conv
+      (parse, fun fmt (a, b, c) -> Format.fprintf fmt "%g,%g,%g" a b c)
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt (some burst_conv) None
+      & info [ "burst" ] ~docv:"START,LEN,MULT"
+          ~doc:
+            "Overload window: multiply the arrival rate by MULT for LEN \
+             simulated seconds starting at START.")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.s_nodes
+      & info [ "nodes" ] ~docv:"N" ~doc:"CPU nodes of the serving machine")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.s_queue_bound
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admission bound on in-flight jobs; arrivals beyond it are shed \
+             with a structured admission error (backpressure).")
+  in
+  let cache_budget_arg =
+    Arg.(
+      value
+      & opt int
+          (Option.value ~default:0
+             Server.default_config.Server.s_cache_budget)
+      & info [ "cache-budget" ] ~docv:"BYTES"
+          ~doc:
+            "LRU byte budget of the shared partition/kernel cache (0 = \
+             unlimited).")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.s_retry_budget
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"Per-tenant re-admissions after a job-level failure (DNC)")
+  in
+  let blacklist_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.s_blacklist_after
+      & info [ "blacklist-after" ] ~docv:"N"
+          ~doc:
+            "Crash strikes before a node is blacklisted and the machine \
+             rebuilt on the survivors")
+  in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Also price the single-tenant baseline (every job cold, no \
+             sharing) and report the speedup.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write a one-row CSV report to $(docv).")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "serve"
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario label of the CSV row")
+  in
+  let chrome_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the serve run (tenant job \
+             spans + runtime spans) to $(docv).")
+  in
+  let f trace_in save_trace jobs tenants rate alpha seed deadline burst nodes
+      queue_bound cache_budget retry_budget blacklist_after fseed frate
+      fretries baseline out scenario chrome_trace metrics_out domains
+      leaf_backend =
+    set_domains domains;
+    set_leaf_backend leaf_backend;
+    let workload =
+      match trace_in with
+      | Some path -> Workload.load path
+      | None ->
+          let gen =
+            {
+              Workload.g_seed = seed;
+              g_jobs = jobs;
+              g_tenants = tenants;
+              g_rate = rate;
+              g_alpha = alpha;
+              g_deadline = deadline;
+              g_burst = burst;
+            }
+          in
+          Workload.generate ~gen ~catalog:Catalog.names ()
+    in
+    (match save_trace with
+    | Some path ->
+        Workload.save path workload;
+        Printf.printf "workload trace written to %s\n" path
+    | None -> ());
+    let faults =
+      if frate > 0. then Fault.make ~seed:fseed ~rate:frate ~retries:fretries ()
+      else Fault.disabled
+    in
+    let cfg =
+      {
+        Server.s_nodes = nodes;
+        s_queue_bound = queue_bound;
+        s_cache_cap = Server.default_config.Server.s_cache_cap;
+        s_cache_budget = (if cache_budget > 0 then Some cache_budget else None);
+        s_retry_budget = retry_budget;
+        s_blacklist_after = blacklist_after;
+        s_faults = faults;
+      }
+    in
+    let trace =
+      if chrome_trace <> None || metrics_out <> None then Trace.create ()
+      else Trace.null
+    in
+    let report = Server.run ~trace ~baseline cfg workload in
+    Format.printf "%a@." Server.pp_report report;
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Server.csv_header ^ "\n");
+        output_string oc (Server.csv_row ~scenario report ^ "\n");
+        close_out oc;
+        Printf.printf "report written to %s\n" path
+    | None -> ());
+    finish_trace trace chrome_trace metrics_out;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a multi-tenant job stream over one shared cache: bounded \
+          admission, per-job deadlines priced against the cost clock, \
+          per-tenant retry budgets, LRU cache byte budget and graceful \
+          degradation under sustained faults")
+    Term.(
+      const f $ trace_in_arg $ save_trace_arg $ jobs_arg $ tenants_arg
+      $ rate_arg $ alpha_arg $ seed_arg $ deadline_arg $ burst_arg $ nodes_arg
+      $ queue_bound_arg $ cache_budget_arg $ retry_budget_arg $ blacklist_arg
+      $ fault_seed_arg $ fault_rate_arg $ max_retries_arg $ baseline_arg
+      $ out_arg $ scenario_arg $ chrome_trace_arg $ metrics_out_arg
+      $ domains_arg $ leaf_backend_arg)
+
 let main =
   Cmd.group
     (Cmd.info "spdistal" ~version:"1.0.0"
@@ -514,7 +728,7 @@ let main =
     [
       run_cmd; prof_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd;
       fig11_cmd; fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
-      trace_check_cmd;
+      trace_check_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

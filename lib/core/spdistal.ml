@@ -41,6 +41,7 @@ type run_result = {
   cost : Cost.t;
   dnc : string option;
   iters : iter_stat list;
+  crashed : int list;
 }
 
 let set_run_meta trace p =
@@ -69,14 +70,19 @@ let run_once ?(uvm = false) ?domains ?faults ?trace ?leaf_backend p =
     let memstate = Memstate.create p.machine ~uvm in
     Interp.run ~machine:p.machine ~bindings:b ~placement ~memstate ~cost
       ?domains ?faults ~trace ?backend:leaf_backend prog;
-    { cost; dnc = None; iters = [] }
+    { cost; dnc = None; iters = []; crashed = [] }
   with
-  | Memstate.Oom reason -> { cost; dnc = Some reason; iters = [] }
+  | Memstate.Oom reason -> { cost; dnc = Some reason; iters = []; crashed = [] }
   | Error.Error ({ Error.phase = Error.Recovery; _ } as e) ->
       (* A fault that recovery could not absorb (retries exhausted, or no
          surviving node).  Like OOM it is a property of the run, not a bug:
          report a DNC cell.  Other [Error.Error] phases keep escaping. *)
-      { cost; dnc = Some ("fault recovery exhausted: " ^ Error.to_string e); iters = [] }
+      {
+        cost;
+        dnc = Some ("fault recovery exhausted: " ^ Error.to_string e);
+        iters = [];
+        crashed = Option.to_list e.Error.node;
+      }
 
 let time_of r = match r.dnc with Some _ -> None | None -> Some (Cost.total r.cost)
 
@@ -96,11 +102,14 @@ module Context = struct
     mutable ran : bool;  (** a previous [run] left results in the output *)
   }
 
-  let create ?(cache = true) p =
+  let create ?(cache = true) ?shared_cache p =
     let out_name = p.stmt.Tin.lhs.Tin.tensor in
     {
       problem = p;
-      cache = (if cache then Some (Cache.create ()) else None);
+      cache =
+        (match shared_cache with
+        | Some c -> Some c
+        | None -> if cache then Some (Cache.create ()) else None);
       out_name;
       pristine_out =
         Operand.copy_data (Operand.find (bindings p) out_name).Operand.data;
@@ -128,15 +137,20 @@ module Context = struct
     let prog = compile ~trace p in
     let prepared = Interp.prepare ~trace ~backend ~bindings:b prog in
     Part_eval.accum_stats stats prepared.Interp.pp_penv;
+    let launches = List.length prepared.Interp.pp_loops in
     {
       Cache.e_key = key;
       e_placement = placement;
       e_prog = prog;
       e_prepared = prepared;
-      e_launches = List.length prepared.Interp.pp_loops;
+      e_launches = launches;
       e_part_seconds = Cache.partition_seconds p.machine stats;
       e_part_ops = stats.Part_eval.s_parts + stats.Part_eval.s_dep_ops;
       e_part_elems = stats.Part_eval.s_dep_elems;
+      e_bytes =
+        Cache.approx_bytes
+          ~pieces:(Machine.pieces p.machine)
+          ~launches ~part_elems:stats.Part_eval.s_dep_elems;
       e_hits = 0;
     }
 
@@ -161,7 +175,15 @@ module Context = struct
            ~schedule:p.schedule)
     in
     let stats = ref [] in
-    let finish dnc = { cost; dnc; iters = List.rev !stats } in
+    let crashed_acc = ref [] in
+    let finish dnc =
+      {
+        cost;
+        dnc;
+        iters = List.rev !stats;
+        crashed = List.sort_uniq compare !crashed_acc;
+      }
+    in
     let was_run = ctx.ran in
     ctx.ran <- true;
     try
@@ -252,9 +274,11 @@ module Context = struct
           :: !stats;
         (* A node crash during this iteration leaves cached placements
            naming dead slots: validate survivors and drop the entry so the
-           next iteration re-partitions (and pays for it). *)
-        match (fcfg, ctx.cache) with
-        | Some cfg, Some c ->
+           next iteration re-partitions (and pays for it).  Crashes are
+           also reported to the caller — a serving front-end blacklists
+           repeat offenders across jobs. *)
+        match fcfg with
+        | Some cfg ->
             let crashed =
               List.init entry.Cache.e_launches (fun l ->
                   Fault.crashed_nodes cfg ~machine:p.machine
@@ -262,23 +286,31 @@ module Context = struct
               |> List.concat |> List.sort_uniq compare
             in
             if crashed <> [] then begin
-              Cache.invalidate c ~machine:p.machine ~crashed (Lazy.force key);
-              if Trace.enabled trace then
-                Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim
-                  ~cat:"cache"
-                  ~args:
-                    [
-                      ("iteration", Trace.I i);
-                      ("crashed_nodes", Trace.I (List.length crashed));
-                    ]
-                  ~start:(Cost.total cost) ~dur:0. "cache_invalidate"
+              crashed_acc := crashed @ !crashed_acc;
+              match ctx.cache with
+              | Some c ->
+                  Cache.invalidate c ~machine:p.machine ~crashed
+                    (Lazy.force key);
+                  if Trace.enabled trace then
+                    Trace.span trace ~track:Trace.Runtime ~clock:Trace.Sim
+                      ~cat:"cache"
+                      ~args:
+                        [
+                          ("iteration", Trace.I i);
+                          ("crashed_nodes", Trace.I (List.length crashed));
+                        ]
+                      ~start:(Cost.total cost) ~dur:0. "cache_invalidate"
+              | None -> ()
             end
-        | _ -> ()
+        | None -> ()
       done;
       finish None
     with
     | Memstate.Oom reason -> finish (Some reason)
     | Error.Error ({ Error.phase = Error.Recovery; _ } as e) ->
+        (match e.Error.node with
+        | Some n -> crashed_acc := n :: !crashed_acc
+        | None -> ());
         finish (Some ("fault recovery exhausted: " ^ Error.to_string e))
 end
 

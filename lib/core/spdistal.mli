@@ -69,6 +69,12 @@ type run_result = {
   iters : iter_stat list;
       (** per-iteration statistics of a warm-start ([?iterations]) run, in
           iteration order; empty on the legacy single-shot protocol *)
+  crashed : int list;
+      (** nodes that crashed during a warm-start run (sorted, deduplicated):
+          transient crashes recovery absorbed, plus the node whose repeated
+          crashes exhausted recovery when [dnc] is set.  Empty on the legacy
+          single-shot protocol.  A serving front-end uses this to blacklist
+          repeat offenders. *)
 }
 
 (** Execute one timed iteration: materializes data distributions, runs the
@@ -129,10 +135,17 @@ val time_of : run_result -> float option
 module Context : sig
   type ctx
 
-  (** [create ?cache p] snapshots [p]'s output operand and allocates the
-      partition/kernel cache ([cache] defaults to true; [false] = always
-      rebuild, the [--no-cache] baseline). *)
-  val create : ?cache:bool -> problem -> ctx
+  (** [create ?cache ?shared_cache p] snapshots [p]'s output operand and
+      allocates the partition/kernel cache ([cache] defaults to true;
+      [false] = always rebuild, the [--no-cache] baseline).
+      [shared_cache] overrides both: the context joins an existing cache —
+      the serving front-end passes one cache to every tenant's contexts so
+      all jobs share one LRU byte budget.  Entries of {e distinct} problems
+      never collide (digests differ), but note that a cache hit replays
+      prepared closures bound to the operand slots of the context that
+      built the entry, so contexts sharing a cache must be the unique
+      owners of their problem instances. *)
+  val create : ?cache:bool -> ?shared_cache:Spdistal_exec.Cache.t -> problem -> ctx
 
   (** Hit/miss/invalidation counters, [None] when caching is disabled. *)
   val cache_stats : ctx -> Spdistal_exec.Cache.stats option

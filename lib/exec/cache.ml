@@ -24,28 +24,51 @@ type entry = {
   e_part_seconds : float;
   e_part_ops : int;
   e_part_elems : int;
+  e_bytes : int;
+      (** accounted footprint of the entry (see {!approx_bytes}), charged
+          against the cache's byte budget *)
   mutable e_hits : int;
 }
 
-type stats = { hits : int; misses : int; invalidations : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+  bytes_peak : int;
+  evictions : int;
+}
 
 type t = {
   tbl : (string, entry) Hashtbl.t;
-  mutable order : string list;  (* insertion order, oldest last; for eviction *)
+  mutable order : string list;  (* most recently used first; LRU is last *)
   cap : int;
+  byte_budget : int option;
+  mutable bytes : int;
+  mutable bytes_peak : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable evictions : int;
 }
 
-let create ?(cap = 64) () =
+let create ?(cap = 64) ?byte_budget () =
+  (match byte_budget with
+  | Some b when b <= 0 ->
+      Error.fail Error.Config "cache byte budget %d must be > 0" b
+  | _ -> ());
   {
     tbl = Hashtbl.create 16;
     order = [];
     cap = max cap 1;
+    byte_budget;
+    bytes = 0;
+    bytes_peak = 0;
     hits = 0;
     misses = 0;
     invalidations = 0;
+    evictions = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -170,29 +193,66 @@ let partition_seconds machine (s : Part_eval.stats) =
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Accounted footprint of one entry.  Not a heap measurement (entries alias
+   operand tensors; [Obj.reachable_words] would double-charge shared data)
+   but a deterministic estimate monotone in what the entry actually pins:
+   the prepared partition environment streams ~16 B per dependently
+   partitioned region element, placements and loop closures scale with the
+   pieces and launches, plus a fixed overhead for the records themselves. *)
+let approx_bytes ~pieces ~launches ~part_elems =
+  4096 + (128 * pieces) + (96 * launches) + (16 * part_elems)
+
+(* Move [key] to the MRU head.  [order] is a short list (bounded by [cap]),
+   so the linear filter is fine. *)
+let touch t key =
+  t.order <- key :: List.filter (fun k -> k <> key) t.order
+
 let find t key =
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
       t.hits <- t.hits + 1;
       e.e_hits <- e.e_hits + 1;
+      (* A hit is a use: refresh recency so eviction is true LRU, not
+         insertion-order FIFO. *)
+      touch t key;
       Some e
   | None ->
       t.misses <- t.misses + 1;
       None
 
+let remove_key t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.tbl key;
+      t.bytes <- t.bytes - e.e_bytes;
+      t.order <- List.filter (fun k -> k <> key) t.order
+
+let over_budget t =
+  match t.byte_budget with Some b -> t.bytes > b | None -> false
+
+(* Evict from the LRU tail until both the entry cap and the byte budget
+   hold.  The loop may evict the entry just inserted (an entry bigger than
+   the whole budget is never cached — the budget is a hard bound, not a
+   target). *)
+let rec evict_to_fit t =
+  if Hashtbl.length t.tbl > t.cap || over_budget t then
+    match List.rev t.order with
+    | lru :: _ ->
+        remove_key t lru;
+        t.evictions <- t.evictions + 1;
+        evict_to_fit t
+    | [] -> ()
+
 let add t entry =
   if not (Hashtbl.mem t.tbl entry.e_key) then begin
-    if Hashtbl.length t.tbl >= t.cap then begin
-      (* Evict the oldest entry (insertion order; entries are cheap to
-         rebuild, the cap only bounds memory). *)
-      match List.rev t.order with
-      | oldest :: _ ->
-          Hashtbl.remove t.tbl oldest;
-          t.order <- List.filter (fun k -> k <> oldest) t.order
-      | [] -> ()
-    end;
     Hashtbl.replace t.tbl entry.e_key entry;
-    t.order <- entry.e_key :: t.order
+    t.bytes <- t.bytes + entry.e_bytes;
+    t.order <- entry.e_key :: t.order;
+    evict_to_fit t;
+    (* The peak is sampled after eviction: it tracks the cache's resting
+       footprint, which never exceeds the budget. *)
+    t.bytes_peak <- max t.bytes_peak t.bytes
   end
 
 (* A crash killed nodes whose slots the cached placements name: check every
@@ -210,8 +270,7 @@ let invalidate t ~machine ~crashed key =
             (fun piece -> ignore (Placement.remap_piece ~machine ~crashed piece))
             (Machine.pieces_on_node machine node))
         crashed;
-      Hashtbl.remove t.tbl key;
-      t.order <- List.filter (fun k -> k <> key) t.order);
+      remove_key t key);
   t.invalidations <- t.invalidations + 1
 
 let stats t =
@@ -220,4 +279,7 @@ let stats t =
     misses = t.misses;
     invalidations = t.invalidations;
     entries = Hashtbl.length t.tbl;
+    bytes = t.bytes;
+    bytes_peak = t.bytes_peak;
+    evictions = t.evictions;
   }

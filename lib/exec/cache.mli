@@ -31,16 +31,37 @@ type entry = {
       (** simulated dependent-partitioning seconds charged on the miss *)
   e_part_ops : int;
   e_part_elems : int;
+  e_bytes : int;
+      (** accounted footprint (see {!approx_bytes}), charged against the
+          byte budget *)
   mutable e_hits : int;
 }
 
-type stats = { hits : int; misses : int; invalidations : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  entries : int;  (** live entries *)
+  bytes : int;  (** current accounted footprint of all live entries *)
+  bytes_peak : int;
+      (** largest resting footprint ever reached (sampled after eviction, so
+          it never exceeds the byte budget) *)
+  evictions : int;  (** entries dropped by the cap or the byte budget *)
+}
 
 type t
 
-(** [create ?cap ()] — [cap] (default 64) bounds live entries; the oldest is
-    evicted first (entries are cheap to rebuild). *)
-val create : ?cap:int -> unit -> t
+(** [create ?cap ?byte_budget ()] — [cap] (default 64) bounds live entries
+    and [byte_budget] (default unlimited) bounds their accounted bytes; the
+    least recently {e used} entry is evicted first (entries are cheap to
+    rebuild).  An entry bigger than the whole budget is never kept.  Raises
+    {!Spdistal_runtime.Error.Error} ([Config]) on a non-positive budget. *)
+val create : ?cap:int -> ?byte_budget:int -> unit -> t
+
+(** Deterministic footprint estimate of an entry: fixed record overhead plus
+    per-piece placement state, per-launch prepared-loop state and ~16 B per
+    dependently-partitioned region element. *)
+val approx_bytes : pieces:int -> launches:int -> part_elems:int -> int
 
 (** Structural digest of a problem.  Injective in practice on distinct
     (tin, formats, tdn, schedule, machine) tuples (an MD5 over a canonical
@@ -59,10 +80,13 @@ val digest :
     cold miss. *)
 val partition_seconds : Machine.t -> Part_eval.stats -> float
 
-(** Lookup; counts a hit or a miss. *)
+(** Lookup; counts a hit or a miss.  A hit refreshes the entry's recency
+    (true LRU, not insertion-order FIFO). *)
 val find : t -> string -> entry option
 
-(** Insert (no-op if the key is already present). *)
+(** Insert (no-op if the key is already present), then evict least recently
+    used entries until the cap and the byte budget hold — possibly including
+    the entry just inserted, when it alone exceeds the budget. *)
 val add : t -> entry -> unit
 
 (** Drop the entry for [key] after the nodes in [crashed] died: validates

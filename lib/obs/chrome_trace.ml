@@ -4,12 +4,14 @@
 
 let pid_runtime = 1
 let pid_host = 2
+let pid_tenants = 3
 let pid_of_node n = 100 + n
 
 let track_ids = function
   | Trace.Runtime -> (pid_runtime, 0)
   | Trace.Piece { node; piece } -> (pid_of_node node, piece)
   | Trace.Host d -> (pid_host, d)
+  | Trace.Tenant t -> (pid_tenants, t)
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -118,6 +120,12 @@ let to_json t =
           metas :=
             meta_event ~pid:pid_host ~tid:d ~name:"thread_name"
               (Printf.sprintf "domain %d" d)
+            :: !metas
+      | Trace.Tenant tn ->
+          add_pid pid_tenants "serve tenants";
+          metas :=
+            meta_event ~pid:pid_tenants ~tid:tn ~name:"thread_name"
+              (Printf.sprintf "tenant %d" tn)
             :: !metas)
     tracks;
   (* Group events per track and sort each track by start time, so the file

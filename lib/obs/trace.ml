@@ -2,6 +2,7 @@ type track =
   | Runtime
   | Piece of { node : int; piece : int }
   | Host of int
+  | Tenant of int
 
 type clock = Sim | Wall
 
@@ -114,3 +115,4 @@ let track_label = function
   | Runtime -> "runtime"
   | Piece { node; piece } -> Printf.sprintf "node %d / piece %d" node piece
   | Host d -> Printf.sprintf "host domain %d" d
+  | Tenant t -> Printf.sprintf "tenant %d" t

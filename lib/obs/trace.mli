@@ -30,6 +30,9 @@ type track =
   | Piece of { node : int; piece : int }
       (** simulated clock, grouped under the piece's node *)
   | Host of int  (** host clock, one per OCaml domain (by domain id) *)
+  | Tenant of int
+      (** simulated clock, one per serving-front-end tenant: job lifecycle
+          spans (admitted/shed/deadline/failed) *)
 
 type clock = Sim | Wall
 

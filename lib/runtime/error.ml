@@ -7,11 +7,14 @@ type phase =
   | Reduce
   | Recovery
   | Config
+  | Admission
+  | Deadline
 
 type t = {
   phase : phase;
   kernel : string option;
   piece : int option;
+  node : int option;
   what : string;
 }
 
@@ -26,6 +29,8 @@ let phase_name = function
   | Reduce -> "reduce"
   | Recovery -> "recovery"
   | Config -> "config"
+  | Admission -> "admission"
+  | Deadline -> "deadline"
 
 let to_string e =
   let b = Buffer.create 64 in
@@ -39,13 +44,16 @@ let to_string e =
   (match e.piece with
   | Some p -> Buffer.add_string b (Printf.sprintf " piece %d" p)
   | None -> ());
+  (match e.node with
+  | Some n -> Buffer.add_string b (Printf.sprintf " node %d" n)
+  | None -> ());
   Buffer.add_string b ": ";
   Buffer.add_string b e.what;
   Buffer.contents b
 
-let fail ?kernel ?piece phase fmt =
+let fail ?kernel ?piece ?node phase fmt =
   Printf.ksprintf
-    (fun what -> raise (Error { phase; kernel; piece; what }))
+    (fun what -> raise (Error { phase; kernel; piece; node; what }))
     fmt
 
 let () =

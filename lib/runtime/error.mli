@@ -18,11 +18,14 @@ type phase =
   | Reduce  (** reducing piece results / stitching outputs *)
   | Recovery  (** fault recovery exhausted (injected faults only) *)
   | Config  (** invalid configuration / unbound operands *)
+  | Admission  (** job shed by the serving front-end's admission control *)
+  | Deadline  (** job cancelled: its deadline passed or cannot be met *)
 
 type t = {
   phase : phase;
   kernel : string option;  (** kernel or tensor the failure is scoped to *)
   piece : int option;  (** piece of the distributed launch, when known *)
+  node : int option;  (** simulated node the failure is pinned to, when known *)
   what : string;
 }
 
@@ -31,6 +34,7 @@ exception Error of t
 val phase_name : phase -> string
 val to_string : t -> string
 
-(** [fail ?kernel ?piece phase fmt ...] raises {!Error} with a formatted
-    message. *)
-val fail : ?kernel:string -> ?piece:int -> phase -> ('a, unit, string, 'b) format4 -> 'a
+(** [fail ?kernel ?piece ?node phase fmt ...] raises {!Error} with a
+    formatted message. *)
+val fail :
+  ?kernel:string -> ?piece:int -> ?node:int -> phase -> ('a, unit, string, 'b) format4 -> 'a

@@ -44,8 +44,11 @@ let disabled =
 
 let enabled c = c.crash_rate > 0. || c.loss_rate > 0. || c.straggle_rate > 0.
 
+(* All guards are phrased positively ([not (good r)]) so that NaN — which
+   fails every comparison, including [r < 0.] — is rejected rather than
+   silently accepted as a rate/factor/backoff. *)
 let check_rate what r =
-  if r < 0. || r >= 1. then
+  if not (r >= 0. && r < 1.) then
     Error.fail Error.Config "fault %s rate %g outside [0, 1)" what r
 
 let make ?(seed = 42) ?(rate = 0.) ?crash ?loss ?straggle ?(factor = 8.)
@@ -57,13 +60,14 @@ let make ?(seed = 42) ?(rate = 0.) ?crash ?loss ?straggle ?(factor = 8.)
   check_rate "crash" crash_rate;
   check_rate "loss" loss_rate;
   check_rate "straggle" straggle_rate;
-  if factor < 1. then
-    Error.fail Error.Config "straggle factor %g must be >= 1" factor;
+  if not (Float.is_finite factor && factor >= 1.) then
+    Error.fail Error.Config "straggle factor %g must be finite and >= 1" factor;
   if retries < 1 then
     Error.fail Error.Config "max-retries %d must be >= 1" retries;
-  if backoff < 0. then Error.fail Error.Config "backoff %g must be >= 0" backoff;
-  if deadline < 1. then
-    Error.fail Error.Config "deadline factor %g must be >= 1" deadline;
+  if not (Float.is_finite backoff && backoff >= 0.) then
+    Error.fail Error.Config "backoff %g must be finite and >= 0" backoff;
+  if not (Float.is_finite deadline && deadline >= 1.) then
+    Error.fail Error.Config "deadline factor %g must be finite and >= 1" deadline;
   {
     seed;
     crash_rate;
@@ -248,7 +252,7 @@ let recover_piece cfg ~machine ~launch ~piece ~msg_bytes ~footprint ~comm_time
       let rec attempt a =
         if node_crashed cfg ~launch ~node ~attempt:a then begin
           if a + 1 > cfg.max_retries then
-            Error.fail ~piece Error.Recovery
+            Error.fail ~piece ~node Error.Recovery
               "node %d crashed %d consecutive times in launch %d \
                (max-retries %d)"
               node (a + 1) launch cfg.max_retries;

@@ -5,9 +5,22 @@ type t = {
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
   nworkers : int;
+  mutable jobs_run : int;  (** jobs dequeued over the pool's lifetime *)
+  mutable peak_queue : int;  (** deepest the shared queue has ever been *)
 }
 
+type stats = { st_jobs_run : int; st_peak_queue : int }
+
 let workers t = t.nworkers
+
+(* Must be called with [t.mutex] held. *)
+let note_dequeue t = t.jobs_run <- t.jobs_run + 1
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { st_jobs_run = t.jobs_run; st_peak_queue = t.peak_queue } in
+  Mutex.unlock t.mutex;
+  s
 
 let worker_loop t () =
   let rec take () =
@@ -20,6 +33,7 @@ let worker_loop t () =
       else
         match Queue.take_opt t.queue with
         | Some job ->
+            note_dequeue t;
             Mutex.unlock t.mutex;
             Some job
         | None ->
@@ -49,6 +63,8 @@ let create n =
       stopping = false;
       domains = [];
       nworkers = n;
+      jobs_run = 0;
+      peak_queue = 0;
     }
   in
   t.domains <- List.init n (fun _ -> Domain.spawn (worker_loop t));
@@ -106,6 +122,7 @@ let map t f n =
     for i = 0 to n - 1 do
       Queue.add (job i) t.queue
     done;
+    t.peak_queue <- max t.peak_queue (Queue.length t.queue);
     Condition.broadcast t.pending;
     Mutex.unlock t.mutex;
     (* The caller works the queue too instead of sitting idle, so a pool of
@@ -113,6 +130,7 @@ let map t f n =
     let rec help () =
       Mutex.lock t.mutex;
       let j = Queue.take_opt t.queue in
+      if Option.is_some j then note_dequeue t;
       Mutex.unlock t.mutex;
       match j with
       | Some job ->

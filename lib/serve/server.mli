@@ -1,0 +1,119 @@
+(** The serve engine: a multi-tenant job-queue front-end over one shared
+    partition/kernel cache and one simulated machine.
+
+    Jobs arrive at their trace timestamps on the simulated clock, pass
+    {!Admission} (bounded queue + deadline-aware shedding), run FCFS on a
+    single service lane priced by the cost clock, and are cancelled at their
+    deadline — charged only for the work actually done.  Contexts for every
+    catalog query share one byte-budgeted {!Spdistal_exec.Cache}.  Jobs
+    whose fault recovery is exhausted are re-admitted after
+    {!Spdistal_runtime.Fault.backoff_time}, gated by per-tenant retry
+    budgets; repeatedly crashing nodes are blacklisted, the machine rebuilt
+    on the survivors and admission tightened — graceful degradation, never a
+    server crash. *)
+
+open Spdistal_runtime
+module Cache = Spdistal_exec.Cache
+
+type config = {
+  s_nodes : int;
+  s_queue_bound : int;
+  s_cache_cap : int;
+  s_cache_budget : int option;  (** cache byte budget; [None] = unlimited *)
+  s_retry_budget : int;  (** per-tenant re-admissions after a DNC *)
+  s_blacklist_after : int;
+      (** crash strikes before a node is blacklisted *)
+  s_faults : Fault.config;
+}
+
+(** 4 nodes, queue bound 32, 1 MiB cache budget, 2 retries/tenant,
+    blacklist after 3 strikes, faults disabled. *)
+val default_config : config
+
+type outcome =
+  | Completed of float
+      (** response time (queue wait + service), simulated seconds *)
+  | Shed of Error.t
+      (** rejected at admission ([Admission] or [Deadline] phase); cost the
+          server nothing *)
+  | Deadline_exceeded of float
+      (** cancelled at the deadline; carries the simulated seconds of work
+          actually charged *)
+  | Failed of Error.t  (** DNC with the tenant's retry budget exhausted *)
+
+type job_log = {
+  l_job : Workload.job;
+  l_outcome : outcome;
+  l_attempts : int;  (** admissions actually run: 1 + retries *)
+  l_hits : int;  (** cache hits this job observed *)
+}
+
+type report = {
+  r_config : config;
+  r_jobs : int;
+  r_completed : int;
+  r_shed : int;
+  r_deadline : int;
+  r_failed : int;
+  r_retries : int;
+  r_p50_ms : float;
+  r_p99_ms : float;
+  r_mean_ms : float;  (** over completed jobs' response times *)
+  r_hit_rate : float;
+  r_shed_rate : float;
+  r_throughput : float;  (** completed jobs per simulated second *)
+  r_makespan : float;
+  r_busy : float;  (** simulated seconds the service lane was occupied *)
+  r_baseline_throughput : float option;
+      (** single-tenant reference (every job cold, no sharing); see
+          {!with_baseline} *)
+  r_cache : Cache.stats;
+  r_blacklisted : int list;  (** original node ids, sorted *)
+  r_final_bound : int;  (** queue bound after degradation *)
+  r_tenants : Tenant.t list;
+  r_log : job_log list;  (** per-job outcomes in trace order *)
+}
+
+type t
+
+(** Raises {!Spdistal_runtime.Error.Error} ([Config]) on nonsensical
+    bounds. *)
+val create : config -> t
+
+(** Serve a whole trace.  [trace] (default
+    {!Spdistal_obs.Trace.null}) gets a simulated-clock job span per job on
+    its tenant's track plus queue-depth/shed/cache-bytes counters — and is
+    also passed to every underlying {!Core.Spdistal.Context.run}. *)
+val serve :
+  ?domains:int ->
+  ?leaf_backend:Spdistal_exec.Compile_leaf.backend ->
+  ?trace:Spdistal_obs.Trace.t ->
+  t ->
+  Workload.t ->
+  report
+
+(** Price the single-tenant baseline (one tenant, no queue, no cache
+    sharing: every job pays its query's cold fault-free cost serially) and
+    attach it to the report. *)
+val with_baseline :
+  ?domains:int ->
+  ?leaf_backend:Spdistal_exec.Compile_leaf.backend ->
+  report ->
+  report
+
+(** {!create} + {!serve} (+ {!with_baseline} when [baseline]). *)
+val run :
+  ?domains:int ->
+  ?leaf_backend:Spdistal_exec.Compile_leaf.backend ->
+  ?trace:Spdistal_obs.Trace.t ->
+  ?baseline:bool ->
+  config ->
+  Workload.t ->
+  report
+
+(** {1 Rendering} *)
+
+val outcome_label : outcome -> string
+val csv_header : string
+val csv_row : scenario:string -> report -> string
+val pp_report : Format.formatter -> report -> unit

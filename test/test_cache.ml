@@ -376,6 +376,108 @@ let test_context_reuse_all_hits () =
       Alcotest.(check int) "three hits overall" 3 st.Cache.hits
   | None -> Alcotest.fail "context has no cache"
 
+(* ------------------------------------------------------------------ *)
+(* LRU recency and the byte budget                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_recency () =
+  (* Three distinct problems over one shared 2-entry cache, touched
+     A B A C: with true LRU (hits refresh recency) the eviction forced by C
+     drops B — A, re-used more recently, survives.  Insertion-order FIFO
+     would wrongly drop A. *)
+  let problem seed =
+    Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 2)
+      (Helpers.rand_csr ~seed 40 40 0.08)
+  in
+  let cache = Cache.create ~cap:2 () in
+  let ctx_of p = S.Context.create ~shared_cache:cache p in
+  let a = ctx_of (problem 81)
+  and b = ctx_of (problem 82)
+  and c = ctx_of (problem 83) in
+  let run ctx = Alcotest.(check (option string)) "completes" None (S.Context.run ctx).S.dnc in
+  run a;
+  run b;
+  run a;
+  (* a: hit, refreshing its recency *)
+  run c;
+  (* evicts the LRU entry — b, not a *)
+  let st = Cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 st.Cache.evictions;
+  Alcotest.(check int) "cap holds" 2 st.Cache.entries;
+  Alcotest.(check bool) "bytes accounted" true (st.Cache.bytes > 0);
+  Alcotest.(check bool) "peak >= live bytes" true
+    (st.Cache.bytes_peak >= st.Cache.bytes);
+  run a;
+  Alcotest.(check int) "A survived (hit, not rebuild)"
+    (st.Cache.misses)
+    (Cache.stats cache).Cache.misses;
+  run b;
+  Alcotest.(check int) "B was the one evicted (miss on return)"
+    (st.Cache.misses + 1)
+    (Cache.stats cache).Cache.misses
+
+let test_byte_budget_evicts () =
+  (* A budget that holds one entry but not two: the second problem's insert
+     evicts the first, and the resting footprint never exceeds the budget. *)
+  let problem seed =
+    Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 2)
+      (Helpers.rand_csr ~seed 40 40 0.08)
+  in
+  let probe = Cache.create () in
+  ignore (S.Context.run (S.Context.create ~shared_cache:probe (problem 84)));
+  let one = (Cache.stats probe).Cache.bytes in
+  Alcotest.(check bool) "probe entry has bytes" true (one > 0);
+  let budget = one + (one / 2) in
+  let cache = Cache.create ~byte_budget:budget () in
+  ignore (S.Context.run (S.Context.create ~shared_cache:cache (problem 84)));
+  ignore (S.Context.run (S.Context.create ~shared_cache:cache (problem 85)));
+  let st = Cache.stats cache in
+  Alcotest.(check int) "budget evicted the older entry" 1 st.Cache.evictions;
+  Alcotest.(check bool) "resting bytes under budget" true (st.Cache.bytes <= budget);
+  Alcotest.(check bool) "peak sampled under budget" true
+    (st.Cache.bytes_peak <= budget);
+  Alcotest.(check bool) "non-positive budget rejected" true
+    (try
+       ignore (Cache.create ~byte_budget:0 ());
+       false
+     with Error.Error { Error.phase = Error.Config; _ } -> true)
+
+let test_crash_soak_under_budget () =
+  (* Satellite soak: one context reused across many fault-bearing runs.
+     Repeated crashes keep invalidating the entry; outputs stay
+     bit-identical to the fault-free run and the accounted bytes never
+     leave the budget. *)
+  let make () =
+    Core.Kernels.spmv_problem ~machine:(Helpers.cpu_machine 8)
+      (Helpers.rand_csr ~seed:71 80 80 0.06)
+  in
+  let clean = make () in
+  ignore (S.run ~faults:Fault.disabled clean);
+  let expected = Helpers.snapshot clean in
+  let p = make () in
+  let probe = Cache.create () in
+  ignore (S.Context.run (S.Context.create ~shared_cache:probe (make ())));
+  let budget = 2 * (Cache.stats probe).Cache.bytes in
+  let cache = Cache.create ~byte_budget:budget () in
+  let ctx = S.Context.create ~shared_cache:cache p in
+  let invalidations = ref 0 in
+  List.iter
+    (fun seed ->
+      let faults = Fault.make ~seed ~crash:0.4 ~retries:50 () in
+      let r = S.Context.run ~faults ~iterations:4 ctx in
+      Alcotest.(check (option string)) "soak run completes" None r.S.dnc;
+      Alcotest.(check bool)
+        "outputs bit-identical under crashes" true
+        (Helpers.snapshot p = expected);
+      let st = Cache.stats cache in
+      invalidations := st.Cache.invalidations;
+      Alcotest.(check bool) "bytes under budget" true (st.Cache.bytes <= budget);
+      Alcotest.(check bool) "peak under budget" true
+        (st.Cache.bytes_peak <= budget))
+    (List.init 12 (fun i -> i + 1));
+  Alcotest.(check bool)
+    "crashes kept invalidating across the soak" true (!invalidations >= 3)
+
 let suite =
   [
     Alcotest.test_case "amortization: miss then hits" `Quick test_amortization;
@@ -396,4 +498,8 @@ let suite =
       test_crash_invalidates;
     Alcotest.test_case "context reuse: all hits" `Quick
       test_context_reuse_all_hits;
+    Alcotest.test_case "true LRU: hits refresh recency" `Quick test_lru_recency;
+    Alcotest.test_case "byte budget evicts" `Quick test_byte_budget_evicts;
+    Alcotest.test_case "crash soak stays under budget" `Quick
+      test_crash_soak_under_budget;
   ]

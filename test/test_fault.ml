@@ -68,6 +68,42 @@ let test_backoff () =
   Alcotest.(check (float 1e-12)) "attempt 0" 1e-4 (Fault.backoff_time cfg 0);
   Alcotest.(check (float 1e-12)) "attempt 3" 8e-4 (Fault.backoff_time cfg 3)
 
+let test_make_rejects_non_finite () =
+  (* NaN passes naive range guards ([r < 0. || r >= 1.] is false for NaN),
+     so every numeric parameter must be validated with positively-phrased
+     finite checks.  A NaN rate silently disabling (or corrupting) fault
+     injection would be invisible until a serve run misbehaves. *)
+  let rejects what f =
+    Alcotest.(check bool) what true
+      (try
+         ignore (f ());
+         false
+       with Error.Error { Error.phase = Error.Config; _ } -> true)
+  in
+  rejects "NaN rate" (fun () -> Fault.make ~rate:Float.nan ());
+  rejects "NaN crash" (fun () -> Fault.make ~crash:Float.nan ());
+  rejects "NaN loss" (fun () -> Fault.make ~loss:Float.nan ());
+  rejects "NaN straggle" (fun () -> Fault.make ~straggle:Float.nan ());
+  rejects "infinite rate" (fun () -> Fault.make ~rate:Float.infinity ());
+  rejects "negative rate" (fun () -> Fault.make ~rate:(-0.1) ());
+  rejects "NaN factor" (fun () -> Fault.make ~factor:Float.nan ());
+  rejects "infinite factor" (fun () -> Fault.make ~factor:Float.infinity ());
+  rejects "sub-1 factor" (fun () -> Fault.make ~factor:0.5 ());
+  rejects "NaN backoff" (fun () -> Fault.make ~backoff:Float.nan ());
+  rejects "infinite backoff" (fun () -> Fault.make ~backoff:Float.infinity ());
+  rejects "negative backoff" (fun () -> Fault.make ~backoff:(-1e-6) ());
+  rejects "NaN deadline" (fun () -> Fault.make ~deadline:Float.nan ());
+  rejects "infinite deadline" (fun () ->
+      Fault.make ~deadline:Float.infinity ());
+  rejects "sub-1 deadline" (fun () -> Fault.make ~deadline:0.9 ());
+  (* The of_string path flows through the same checks. *)
+  Alcotest.(check bool) "of_string rejects NaN rate" true
+    (match Fault.of_string "rate=nan" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "of_string rejects infinite backoff" true
+    (match Fault.of_string "rate=0.1,backoff=inf" with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let test_crashed_nodes_single_node () =
   (* A single-node machine has no fault domain to fail over to. *)
   let m = Machine.make ~kind:Machine.Cpu [| 1 |] in
@@ -300,6 +336,8 @@ let suite =
     Alcotest.test_case "backoff" `Quick test_backoff;
     Alcotest.test_case "single node: no crashes" `Quick
       test_crashed_nodes_single_node;
+    Alcotest.test_case "make rejects NaN/inf parameters" `Quick
+      test_make_rejects_non_finite;
     Alcotest.test_case "recovery exhaustion" `Quick test_recover_prices_faults;
     Alcotest.test_case "straggler pricing" `Quick test_straggler_pricing;
     Alcotest.test_case "remap piece" `Quick test_remap_piece;

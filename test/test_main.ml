@@ -43,4 +43,5 @@ let () =
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("serve", Test_serve.suite);
     ]
