@@ -564,6 +564,33 @@ let run_serve () =
   close_out oc;
   Printf.printf "serve scenarios written: %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Auto-scheduler tournament: the evaluation kernels priced naive vs   *)
+(* hand vs auto (no leaf execution).  Writes results/auto.csv; the CI  *)
+(* auto-tournament job checks the worst auto/hand ratio against the    *)
+(* ratcheted ceiling in bench/auto_ratio_floor.txt.                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_auto_tournament () =
+  print_endline
+    "=== Auto-scheduler tournament (naive vs hand vs auto, priced) ===";
+  let rows = Auto_tournament.compute ~quick () in
+  Format.printf "%a@." Auto_tournament.print rows;
+  let path = Auto_tournament.write ~dir:"results" rows in
+  (match Auto_tournament.max_ratio rows with
+  | Some m -> Printf.printf "max auto/hand ratio: %.4f (CSV: %s)\n%!" m path
+  | None -> Printf.printf "no cell priced (CSV: %s)\n%!" path);
+  let regressed = Auto_tournament.regressions rows in
+  if regressed <> [] then begin
+    Printf.printf "WARNING: %d cell(s) where auto fails to beat naive:\n"
+      (List.length regressed);
+    List.iter
+      (fun (r : Auto_tournament.row) ->
+        Printf.printf "  %s/%s/%s\n" r.Auto_tournament.t_kernel
+          r.Auto_tournament.t_dataset r.Auto_tournament.t_system)
+      regressed
+  end
+
 let section title f =
   let t0 = Unix.gettimeofday () in
   Printf.printf "\n";
@@ -580,6 +607,11 @@ let serve_only =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+let auto_only =
+  match Sys.getenv_opt "BENCH_AUTO_ONLY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let () =
   if leaf_only then begin
     (* CI smoke mode: just the leaf-throughput microbench and its CSV. *)
@@ -589,6 +621,11 @@ let () =
   if serve_only then begin
     (* CI smoke mode: just the serve scenario sweep and its CSV. *)
     section "serve" run_serve;
+    exit 0
+  end;
+  if auto_only then begin
+    (* CI smoke mode: just the auto-scheduler tournament and its CSV. *)
+    section "auto-tournament" run_auto_tournament;
     exit 0
   end;
   Printf.printf "SpDISTAL reproduction benchmark harness%s\n"
@@ -604,6 +641,7 @@ let () =
   section "fault-sweep" run_fault_sweep;
   section "amortization" run_amortization;
   section "serve" run_serve;
+  section "auto-tournament" run_auto_tournament;
   (match Sys.getenv_opt "BENCH_TRACE_DIR" with
   | Some dir -> section "trace-export" (fun () -> run_trace_exports dir)
   | None -> ());

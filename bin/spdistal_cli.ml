@@ -132,6 +132,17 @@ let max_retries_arg =
 let set_faults seed rate retries =
   if rate > 0. then Fault.set_default (Fault.make ~seed ~rate ~retries ())
 
+let auto_arg =
+  Arg.(
+    value & flag
+    & info [ "auto" ]
+        ~doc:
+          "Replace the hand-written schedule of SpDISTAL systems with the \
+           auto-scheduler's pick: candidates from the statistics-driven \
+           search are priced against the cost model (no leaf execution) and \
+           the cheapest — never worse than the hand schedule — is run.  \
+           Baseline systems are unaffected.")
+
 let iterations_arg =
   Arg.(
     value
@@ -200,8 +211,8 @@ let finish_trace t trace_out metrics_out =
   | None -> ()
 
 let run_cmd =
-  let f kernel dataset system pieces gpu cols domains leaf_backend fseed frate
-      fretries trace_out metrics_out iterations no_cache =
+  let f kernel dataset system pieces gpu cols auto domains leaf_backend fseed
+      frate fretries trace_out metrics_out iterations no_cache =
     set_domains domains;
     set_leaf_backend leaf_backend;
     set_faults fseed frate fretries;
@@ -211,7 +222,7 @@ let run_cmd =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
     in
     let r =
-      Runner.run ~kernel ~system ~machine ~cols ?iterations
+      Runner.run ~kernel ~system ~machine ~cols ~auto ?iterations
         ~cache:(not no_cache) b
     in
     (match r.Spdistal_baselines.Common.dnc with
@@ -234,23 +245,15 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one kernel/system/dataset cell")
     Term.(
       const f $ kernel_arg $ dataset_arg $ system_arg $ pieces_arg $ gpu_arg
-      $ cols_arg $ domains_arg $ leaf_backend_arg $ fault_seed_arg
+      $ cols_arg $ auto_arg $ domains_arg $ leaf_backend_arg $ fault_seed_arg
       $ fault_rate_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
       $ iterations_arg $ no_cache_arg)
 
-(* The SpDISTAL problem of one kernel cell (shared by show and prof). *)
-let problem_for ~kernel ~machine ~cols b =
-  let gpu_kind = machine.Machine.kind = Machine.Gpu in
-  match kernel with
-  | Runner.Spmv -> Core.Kernels.spmv_problem ~machine b
-  | Runner.Spmm -> Core.Kernels.spmm_problem ~machine ~cols ~nonzero_dist:gpu_kind b
-  | Runner.Spadd3 -> Core.Kernels.spadd3_problem ~machine b
-  | Runner.Sddmm -> Core.Kernels.sddmm_problem ~machine ~cols b
-  | Runner.Spttv -> Core.Kernels.spttv_problem ~machine ~nonzero_dist:gpu_kind b
-  | Runner.Mttkrp -> Core.Kernels.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu_kind b
+(* The SpDISTAL problem of one kernel cell (shared by show, prof and auto). *)
+let problem_for = Runner.problem_for
 
 let prof_cmd =
-  let f kernel dataset pieces gpu cols domains leaf_backend fseed frate
+  let f kernel dataset pieces gpu cols auto domains leaf_backend fseed frate
       fretries trace_out metrics_out iterations no_cache =
     set_domains domains;
     set_leaf_backend leaf_backend;
@@ -260,6 +263,7 @@ let prof_cmd =
       if gpu then Runner.gpu_machine ~gpus:pieces else Runner.cpu_machine ~nodes:pieces
     in
     let problem = problem_for ~kernel ~machine ~cols b in
+    let problem = if auto then Spdistal_opt.Auto.schedule problem else problem in
     let trace = Trace.create () in
     Trace.set_meta trace "dataset" dataset;
     let r =
@@ -283,9 +287,9 @@ let prof_cmd =
           piece-time imbalance")
     Term.(
       const f $ kernel_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg
-      $ domains_arg $ leaf_backend_arg $ fault_seed_arg $ fault_rate_arg
-      $ max_retries_arg $ trace_out_arg $ metrics_out_arg $ iterations_arg
-      $ no_cache_arg)
+      $ auto_arg $ domains_arg $ leaf_backend_arg $ fault_seed_arg
+      $ fault_rate_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
+      $ iterations_arg $ no_cache_arg)
 
 let trace_check_cmd =
   let file_arg =
@@ -507,6 +511,91 @@ let fuzz_cmd =
       $ fault_prob_arg $ budget_arg $ verbose_arg $ inject_bug_arg $ replay_arg
       $ corpus_arg $ out_arg $ domains_arg $ leaf_backend_arg)
 
+let auto_cmd =
+  let open Spdistal_opt in
+  let kernel_opt_arg =
+    Arg.(value & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the full tournament over the evaluation kernels (fig10 CPU \
+             sweep, fig11/fig12 GPU kernels, batched SpMM, fig13 banded \
+             synthetic) instead of one cell; with $(b,--out) the table is \
+             also written as auto.csv.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Limit the sweep to two datasets per kernel.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write auto.csv under $(docv) (with $(b,--sweep)).")
+  in
+  let print_report kernel dataset rp =
+    Printf.printf "%s on %s — candidates priced against the cost model:\n"
+      (Runner.kernel_name kernel) dataset;
+    List.iter
+      (fun v ->
+        match v.Auto.v_priced with
+        | Ok pr ->
+            Printf.printf "  %-12s %.6e s   (%d launches, partitioning %.3e s)\n"
+              v.Auto.v_label (Price.total pr) pr.Price.pr_launches
+              pr.Price.pr_part_seconds
+        | Error e -> Printf.printf "  %-12s infeasible: %s\n" v.Auto.v_label e)
+      rp.Auto.rp_verdicts;
+    (match rp.Auto.rp_naive with
+    | Ok pr -> Printf.printf "  %-12s %.6e s\n" "naive" (Price.total pr)
+    | Error e -> Printf.printf "  %-12s infeasible: %s\n" "naive" e);
+    match rp.Auto.rp_winner with
+    | Some (c, pr) ->
+        Printf.printf "winner: %s at %.6e s\n" c.Search.c_label
+          (Price.total pr)
+    | None -> Printf.printf "winner: none (no candidate priced)\n"
+  in
+  let f kernel dataset pieces gpu cols sweep quick out =
+    if sweep then begin
+      let rows = Auto_tournament.compute ~quick () in
+      Format.printf "%a@." Auto_tournament.print rows;
+      (match out with
+      | Some dir ->
+          let path = Auto_tournament.write ~dir rows in
+          Printf.printf "csv written to %s\n" path
+      | None -> ());
+      if Auto_tournament.regressions rows = [] then 0 else 1
+    end
+    else
+      match kernel with
+      | None ->
+          prerr_endline "spdistal auto: KERNEL required (or use --sweep)";
+          2
+      | Some kernel ->
+          let b = load_dataset dataset in
+          let machine =
+            if gpu then Runner.gpu_machine ~gpus:pieces
+            else Runner.cpu_machine ~nodes:pieces
+          in
+          let problem = problem_for ~kernel ~machine ~cols b in
+          print_report kernel dataset (Auto.report problem);
+          0
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:
+         "Price the auto-scheduler's candidate schedules for one kernel cell \
+          (or, with $(b,--sweep), the whole evaluation suite) and report the \
+          winner against the hand schedule and the naive default")
+    Term.(
+      const f $ kernel_opt_arg $ dataset_arg $ pieces_arg $ gpu_arg $ cols_arg
+      $ sweep_arg $ quick_arg $ out_arg)
+
 let serve_cmd =
   let open Spdistal_serve in
   let trace_in_arg =
@@ -647,7 +736,7 @@ let serve_cmd =
              spans + runtime spans) to $(docv).")
   in
   let f trace_in save_trace jobs tenants rate alpha seed deadline burst nodes
-      queue_bound cache_budget retry_budget blacklist_after fseed frate
+      queue_bound cache_budget retry_budget blacklist_after auto fseed frate
       fretries baseline out scenario chrome_trace metrics_out domains
       leaf_backend =
     set_domains domains;
@@ -687,6 +776,7 @@ let serve_cmd =
         s_retry_budget = retry_budget;
         s_blacklist_after = blacklist_after;
         s_faults = faults;
+        s_auto = auto;
       }
     in
     let trace =
@@ -717,17 +807,17 @@ let serve_cmd =
       const f $ trace_in_arg $ save_trace_arg $ jobs_arg $ tenants_arg
       $ rate_arg $ alpha_arg $ seed_arg $ deadline_arg $ burst_arg $ nodes_arg
       $ queue_bound_arg $ cache_budget_arg $ retry_budget_arg $ blacklist_arg
-      $ fault_seed_arg $ fault_rate_arg $ max_retries_arg $ baseline_arg
-      $ out_arg $ scenario_arg $ chrome_trace_arg $ metrics_out_arg
-      $ domains_arg $ leaf_backend_arg)
+      $ auto_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg
+      $ baseline_arg $ out_arg $ scenario_arg $ chrome_trace_arg
+      $ metrics_out_arg $ domains_arg $ leaf_backend_arg)
 
 let main =
   Cmd.group
     (Cmd.info "spdistal" ~version:"1.0.0"
        ~doc:"SpDISTAL reproduction: distributed sparse tensor algebra compiler")
     [
-      run_cmd; prof_cmd; show_cmd; table2_cmd; datasets_cmd; fig10_cmd;
-      fig11_cmd; fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
+      run_cmd; prof_cmd; show_cmd; auto_cmd; table2_cmd; datasets_cmd;
+      fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
       trace_check_cmd; serve_cmd;
     ]
 

@@ -14,6 +14,20 @@ let machine ?params ~kind grid = Machine.make ?params ~kind grid
 let problem ~machine ~operands ~stmt ~schedule =
   { machine; operands; stmt; schedule }
 
+(* Same data, different plan: the auto-scheduler applies its chosen
+   schedule and data distributions to the user's problem without touching
+   the operand slots (so outputs land in the same bindings). *)
+let with_schedule p ~schedule ~tdns =
+  {
+    p with
+    schedule;
+    operands =
+      List.map
+        (fun (n, s, tdn) ->
+          (n, s, match List.assoc_opt n tdns with Some t -> t | None -> tdn))
+        p.operands;
+  }
+
 let bindings p = List.map (fun (n, s, _) -> (n, s)) p.operands
 
 module Trace = Spdistal_obs.Trace

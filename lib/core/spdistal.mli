@@ -40,6 +40,14 @@ val problem :
   schedule:Schedule.t ->
   problem
 
+(** [with_schedule p ~schedule ~tdns] is [p] with the schedule replaced and
+    each operand's TDN overridden by its entry in [tdns] (operands absent
+    from [tdns] keep theirs).  The operand {e slots} are shared with [p], so
+    outputs land in the same bindings — this is how the auto-scheduler
+    re-plans a problem without re-binding data. *)
+val with_schedule :
+  problem -> schedule:Schedule.t -> tdns:(string * Tdn.t) list -> problem
+
 (** Lower the problem to its partitioning-and-compute program (Fig. 9).
     [trace] (default {!Spdistal_obs.Trace.default}) gets a host-clock
     "lower" phase span. *)

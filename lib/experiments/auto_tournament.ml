@@ -1,0 +1,165 @@
+(* The auto-scheduler tournament: every evaluation kernel (the fig10 CPU
+   sweep, the fig11/fig12 GPU kernels, the batched 2-D SpMM and the fig13
+   banded synthetic) priced three ways — the naive strawman, the paper's
+   hand schedule, and the auto-scheduler's pick — without executing leaves.
+   The CI ratchet holds the worst auto/hand ratio under the floor in
+   bench/auto_ratio_floor.txt. *)
+
+open Spdistal_runtime
+open Spdistal_workloads
+open Spdistal_opt
+
+type row = {
+  t_kernel : string;
+  t_dataset : string;
+  t_system : string;  (* "cpu" | "gpu" | "gpu-2d" *)
+  t_pieces : int;
+  t_naive : float option;
+  t_hand : float option;
+  t_auto : float option;
+  t_winner : string;  (* winning candidate label; "DNC" when nothing priced *)
+}
+
+let ratio r =
+  match (r.t_auto, r.t_hand) with
+  | Some a, Some h when h > 0. -> Some (a /. h)
+  | _ -> None
+
+let price_of = function Ok pr -> Some (Price.total pr) | Error _ -> None
+
+let row_of ~kernel ~dataset ~system ~pieces problem =
+  let rp = Auto.report problem in
+  let hand =
+    List.find_opt (fun v -> v.Auto.v_label = "hand") rp.Auto.rp_verdicts
+  in
+  {
+    t_kernel = kernel;
+    t_dataset = dataset;
+    t_system = system;
+    t_pieces = pieces;
+    t_naive = price_of rp.Auto.rp_naive;
+    t_hand = Option.bind hand (fun v -> price_of v.Auto.v_priced);
+    t_auto = Option.map (fun (_, pr) -> Price.total pr) rp.Auto.rp_winner;
+    t_winner =
+      (match rp.Auto.rp_winner with
+      | Some (c, _) -> c.Search.c_label
+      | None -> "DNC");
+  }
+
+let cpu_kernels = Runner.all_kernels
+let gpu_kernels = Runner.all_kernels
+
+let datasets_for kernel =
+  match kernel with
+  | Runner.Spttv | Runner.Mttkrp -> Datasets.tensors3
+  | Runner.Spmv | Runner.Spmm | Runner.Spadd3 | Runner.Sddmm ->
+      Datasets.matrices
+
+let compute ?(quick = false) () =
+  let take2 l = if quick then List.filteri (fun i _ -> i < 2) l else l in
+  let cols = 32 in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  let cell ~kernel ~system ~machine ?(batched = false) (e : Datasets.entry) =
+    let b = e.Datasets.load () in
+    let p = Runner.problem_for ~kernel ~machine ~cols ~batched b in
+    add
+      (row_of ~kernel:(Runner.kernel_name kernel) ~dataset:e.Datasets.ds_name
+         ~system ~pieces:(Machine.pieces p.Core.Spdistal.machine) p)
+  in
+  (* fig10: the CPU sweep at 4 nodes. *)
+  let cpu = Runner.cpu_machine ~nodes:4 in
+  List.iter
+    (fun kernel ->
+      List.iter (cell ~kernel ~system:"cpu" ~machine:cpu)
+        (take2 (datasets_for kernel)))
+    cpu_kernels;
+  (* fig11/fig12: the GPU kernels at 4 GPUs. *)
+  let gpu = Runner.gpu_machine ~gpus:4 in
+  List.iter
+    (fun kernel ->
+      List.iter (cell ~kernel ~system:"gpu" ~machine:gpu)
+        (take2 (datasets_for kernel)))
+    gpu_kernels;
+  (* The memory-conserving 2-D batched SpMM (problem_for re-grids). *)
+  List.iter
+    (cell ~kernel:Runner.Spmm ~system:"gpu-2d" ~machine:gpu ~batched:true)
+    (take2 Datasets.matrices);
+  (* fig13: the banded weak-scaling synthetic at 4 pieces. *)
+  let banded =
+    Synth.banded ~name:"banded-4" ~n:(35_000 * 4 / 14) ~band:14
+  in
+  let p = Runner.problem_for ~kernel:Runner.Spmv ~machine:cpu ~cols banded in
+  add
+    (row_of ~kernel:"SpMV" ~dataset:"banded-4" ~system:"cpu" ~pieces:4 p);
+  Spdistal_exec.Leaf.clear_cache ();
+  List.rev !rows
+
+let max_ratio rows =
+  List.fold_left
+    (fun acc r ->
+      match (ratio r, acc) with
+      | Some x, Some m -> Some (Float.max x m)
+      | Some x, None -> Some x
+      | None, _ -> acc)
+    None rows
+
+(* Every row where the auto pick fails to strictly beat the naive strawman
+   (the acceptance bar of the search), or prices worse than the hand
+   schedule at all — candidates the ratchet and tests inspect. *)
+let regressions rows =
+  List.filter
+    (fun r ->
+      match (r.t_auto, r.t_naive) with
+      | Some a, Some n -> a >= n
+      | None, _ -> true
+      | _, None -> false)
+    rows
+
+let time_cell = function Some t -> Printf.sprintf "%.9f" t | None -> "DNC"
+
+let csv rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "kernel,dataset,system,pieces,naive_total,hand_total,auto_total,auto_vs_hand,winner\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%s,%d,%s,%s,%s,%s,%s\n" r.t_kernel r.t_dataset
+           r.t_system r.t_pieces (time_cell r.t_naive) (time_cell r.t_hand)
+           (time_cell r.t_auto)
+           (match ratio r with
+           | Some x -> Printf.sprintf "%.4f" x
+           | None -> "DNC")
+           r.t_winner))
+    rows;
+  Buffer.contents b
+
+let write ~dir rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "auto.csv" in
+  let oc = open_out path in
+  output_string oc (csv rows);
+  close_out oc;
+  path
+
+let print fmt rows =
+  Format.fprintf fmt
+    "@[<v>=== Auto-scheduler tournament (priced seconds, lower is better) \
+     ===@,";
+  Format.fprintf fmt "%-10s %-14s %-7s %6s %14s %14s %14s %8s  %s@," "kernel"
+    "dataset" "system" "pieces" "naive" "hand" "auto" "auto/h" "winner";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %-14s %-7s %6d %14s %14s %14s %8s  %s@,"
+        r.t_kernel r.t_dataset r.t_system r.t_pieces (time_cell r.t_naive)
+        (time_cell r.t_hand) (time_cell r.t_auto)
+        (match ratio r with
+        | Some x -> Printf.sprintf "%.4f" x
+        | None -> "DNC")
+        r.t_winner)
+    rows;
+  (match max_ratio rows with
+  | Some m -> Format.fprintf fmt "@,max auto/hand ratio: %.4f@," m
+  | None -> ());
+  Format.fprintf fmt "@]"

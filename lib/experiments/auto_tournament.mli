@@ -1,0 +1,36 @@
+(** The auto-scheduler tournament: the evaluation kernels (fig10 CPU sweep,
+    fig11/fig12 GPU kernels, batched 2-D SpMM, fig13 banded synthetic)
+    priced three ways — naive strawman, the paper's hand schedule, and the
+    auto-scheduler's pick — with no leaf execution.  [results/auto.csv]
+    records the table; the CI ratchet bounds [max_ratio] by
+    [bench/auto_ratio_floor.txt]. *)
+
+type row = {
+  t_kernel : string;
+  t_dataset : string;
+  t_system : string;  (** ["cpu"], ["gpu"] or ["gpu-2d"] *)
+  t_pieces : int;
+  t_naive : float option;  (** priced seconds; [None] = did not price *)
+  t_hand : float option;
+  t_auto : float option;
+  t_winner : string;  (** winning candidate label; ["DNC"] if none priced *)
+}
+
+(** auto/hand of one row, when both priced. *)
+val ratio : row -> float option
+
+(** [quick] limits each kernel to its first two datasets. *)
+val compute : ?quick:bool -> unit -> row list
+
+(** Worst auto/hand ratio over the rows — what the CI ratchet bounds. *)
+val max_ratio : row list -> float option
+
+(** Rows where auto failed to strictly beat naive (or priced nothing). *)
+val regressions : row list -> row list
+
+val csv : row list -> string
+
+(** Writes [auto.csv] under [dir] (created if missing); returns the path. *)
+val write : dir:string -> row list -> string
+
+val print : Format.formatter -> row list -> unit

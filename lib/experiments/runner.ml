@@ -64,22 +64,26 @@ let of_spdistal (res : S.run_result) =
   | Some reason -> Common.dnc ("SpDISTAL: " ^ reason)
   | None -> Common.ok (Cost.total res.S.cost)
 
-let run_spdistal ~kernel ~machine ~cols ?(batched = false) ?iterations
-    ?(cache = true) b =
+(* The hand-scheduled problem the paper uses for this (kernel, machine)
+   cell — the baseline both [run_spdistal] and the auto-tournament price. *)
+let problem_for ~kernel ~machine ~cols ?(batched = false) b =
   let gpu = machine.Machine.kind = Machine.Gpu in
-  let problem =
-    match kernel with
-    | Spmv -> K.spmv_problem ~machine b
-    | Spmm ->
-        if batched then
-          let m2 = gpu_machine_2d ~gpus:(Machine.pieces machine) in
-          K.spmm_problem ~machine:m2 ~cols ~batched:true b
-        else K.spmm_problem ~machine ~cols ~nonzero_dist:gpu b
-    | Spadd3 -> K.spadd3_problem ~machine b
-    | Sddmm -> K.sddmm_problem ~machine ~cols b
-    | Spttv -> K.spttv_problem ~machine ~nonzero_dist:gpu b
-    | Mttkrp -> K.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu b
-  in
+  match kernel with
+  | Spmv -> K.spmv_problem ~machine b
+  | Spmm ->
+      if batched then
+        let m2 = gpu_machine_2d ~gpus:(Machine.pieces machine) in
+        K.spmm_problem ~machine:m2 ~cols ~batched:true b
+      else K.spmm_problem ~machine ~cols ~nonzero_dist:gpu b
+  | Spadd3 -> K.spadd3_problem ~machine b
+  | Sddmm -> K.sddmm_problem ~machine ~cols b
+  | Spttv -> K.spttv_problem ~machine ~nonzero_dist:gpu b
+  | Mttkrp -> K.mttkrp_problem ~machine ~cols ~nonzero_dist:gpu b
+
+let run_spdistal ~kernel ~machine ~cols ?(batched = false) ?(auto = false)
+    ?iterations ?(cache = true) b =
+  let problem = problem_for ~kernel ~machine ~cols ~batched b in
+  let problem = if auto then Spdistal_opt.Auto.schedule problem else problem in
   of_spdistal (S.run ?iterations ~cache problem)
 
 (* Baseline systems have no partition cache: an N-iteration solve re-pays
@@ -90,9 +94,10 @@ let scale_iterations iterations (r : Common.result) =
   | Some n, None when n > 1 -> { r with Common.time = r.Common.time *. float_of_int n }
   | _ -> r
 
-let run ~kernel ~system ~machine ?(cols = 32) ?iterations ?(cache = true) b =
+let run ~kernel ~system ~machine ?(cols = 32) ?(auto = false) ?iterations
+    ?(cache = true) b =
   match system with
-  | Spdistal -> run_spdistal ~kernel ~machine ~cols ?iterations ~cache b
+  | Spdistal -> run_spdistal ~kernel ~machine ~cols ~auto ?iterations ~cache b
   | Spdistal_cpu_leaf ->
       (* SpDISTAL's CPU kernel on the same number of nodes (paper Fig. 11/12
          compare against "SpDISTAL's CPU kernel using all the resources on a
@@ -102,11 +107,13 @@ let run ~kernel ~system ~machine ?(cols = 32) ?iterations ?(cache = true) b =
         | Machine.Cpu -> Machine.pieces machine
         | Machine.Gpu -> Machine.nodes machine
       in
-      run_spdistal ~kernel ~machine:(cpu_machine ~nodes) ~cols ?iterations
-        ~cache b
+      run_spdistal ~kernel ~machine:(cpu_machine ~nodes) ~cols ~auto
+        ?iterations ~cache b
   | Spdistal_batched ->
       if kernel <> Spmm then Common.dnc "batched schedule is SpMM-only"
-      else run_spdistal ~kernel ~machine ~cols ~batched:true ?iterations ~cache b
+      else
+        run_spdistal ~kernel ~machine ~cols ~batched:true ~auto ?iterations
+          ~cache b
   | Petsc ->
       scale_iterations iterations
       @@ (

@@ -32,9 +32,25 @@ val cpu_machine : nodes:int -> Machine.t
 
 val gpu_machine : gpus:int -> Machine.t
 
+(** The hand-scheduled problem the paper uses for this (kernel, machine)
+    cell — what [run] executes for the SpDISTAL systems, and what the
+    auto-tournament reschedules.  [batched] picks the 2-D memory-conserving
+    SpMM (the machine is re-gridded to a near-square 2-D grid). *)
+val problem_for :
+  kernel:kernel ->
+  machine:Machine.t ->
+  cols:int ->
+  ?batched:bool ->
+  Tensor.t ->
+  Core.Spdistal.problem
+
 (** [run ~kernel ~system ~machine tensor] executes one cell: real numerics,
     simulated time.  [cols] is the dense width for SpMM/SDDMM/MTTKRP
     (default 32).  Trilinos GPU runs use UVM.
+
+    [auto] replaces the hand schedule of SpDISTAL systems with the
+    auto-scheduler's choice ({!Spdistal_opt.Auto.schedule}); baselines are
+    unaffected.
 
     [iterations] switches the cell to the iterative protocol: SpDISTAL
     systems run through the warm-start execution context (partitions are
@@ -46,6 +62,7 @@ val run :
   system:system ->
   machine:Machine.t ->
   ?cols:int ->
+  ?auto:bool ->
   ?iterations:int ->
   ?cache:bool ->
   Tensor.t ->

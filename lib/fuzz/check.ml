@@ -177,6 +177,34 @@ let run spec =
         | Dnc _ -> ()
         | Rejected m | Crashed m ->
             stop (fail "fault-invariance" "failed under fault injection: %s" m)));
+    (* auto-vs-hand equivalence: whatever schedule the auto-scheduler picks
+       for the same (machine, TIN, tensors), executing it must agree with
+       the dense reference exactly as the spec's own schedule did.  No
+       feasible candidate is a legitimate outcome (the hand schedule
+       stands), and so is a DNC of the rescheduled run. *)
+    (if spec.Spec.auto then
+       let p5 = Spec.build spec in
+       match Spdistal_opt.Auto.choose p5 with
+       | None | (exception Invalid_argument _) -> ()
+       | exception Error.Error _ -> ()
+       | Some ch -> (
+           match exec ch.Spdistal_opt.Auto.ch_problem with
+           | Ran _ ->
+               let cmp =
+                 Validate.compare ~rtol ~atol
+                   (Spdistal.bindings ch.Spdistal_opt.Auto.ch_problem)
+                   (Spec.stmt spec)
+               in
+               if not (Validate.ok cmp) then
+                 stop
+                   (fail "auto-vs-hand" "auto schedule (%s) disagrees: %s"
+                      ch.Spdistal_opt.Auto.ch_label
+                      (Validate.diff_to_string cmp))
+           | Dnc _ -> ()
+           | Rejected m | Crashed m ->
+               stop
+                 (fail "auto-vs-hand" "auto schedule (%s) failed: %s"
+                    ch.Spdistal_opt.Auto.ch_label m)));
     Pass
   with Done v -> v
 

@@ -110,6 +110,7 @@ let sample_merge r ~params ~dseed =
       domains = 1 + Srng.int r 3;
       faults = None;
       workspace = chance r 0.4;
+      auto = chance r 0.3;
     }
   in
   { spec with tdns = sample_tdns r spec }
@@ -244,6 +245,7 @@ let sample_product r ~params ~dseed =
       domains = 1 + Srng.int r 3;
       faults = None;
       workspace = false;
+      auto = chance r 0.3;
     }
   in
   { spec with tdns = sample_tdns r spec }

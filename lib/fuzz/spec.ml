@@ -51,6 +51,7 @@ type t = {
   domains : int;  (** host simulation degree checked against domains=1 *)
   faults : (int * float) option;  (** fault schedule (seed, rate) to inject *)
   workspace : bool;  (** Precompute: merge via dense workspace *)
+  auto : bool;  (** also auto-schedule the case and check agreement *)
 }
 
 let dim spec v =
@@ -356,6 +357,7 @@ let to_string spec =
   | Some (s, r) -> field "flt" (Printf.sprintf "%d:%s" s (fstr r))
   | None -> ());
   if spec.workspace then field "ws" "1";
+  if spec.auto then field "at" "1";
   let s = Buffer.contents b in
   String.sub s 0 (String.length s - 1)
 
@@ -528,6 +530,7 @@ let of_string line =
         | _ -> Error (Printf.sprintf "bad flt field %S" f))
   in
   let workspace = find "ws" = Some "1" in
+  let auto = find "at" = Some "1" in
   Ok
     {
       vars;
@@ -548,6 +551,7 @@ let of_string line =
       domains;
       faults;
       workspace;
+      auto;
     }
 
 let of_string_exn s =

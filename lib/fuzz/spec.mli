@@ -46,6 +46,9 @@ type t = {
   domains : int;
   faults : (int * float) option;
   workspace : bool;
+  auto : bool;
+      (** also run the case through the auto-scheduler and check the chosen
+          schedule agrees with the spec's own (the auto-vs-hand property) *)
 }
 
 val dim : t -> string -> int

@@ -1,0 +1,112 @@
+(* The auto-scheduler front door: enumerate candidates (plus the problem's
+   own hand schedule), price them all, pick the cheapest, and optionally
+   remember the winner in the execution cache keyed by the sparsity-pattern
+   digest — so a serving front-end prices each (machine, TIN, pattern) once
+   and replans every later arrival for free. *)
+
+open Spdistal_exec
+module Spdistal = Core.Spdistal
+
+type verdict = {
+  v_label : string;
+  v_candidate : Search.candidate;
+  v_priced : (Price.priced, string) result;
+}
+
+type report = {
+  rp_verdicts : verdict list;  (* generated candidates + hand, search order *)
+  rp_naive : (Price.priced, string) result;
+  rp_winner : (Search.candidate * Price.priced) option;
+}
+
+type choice = {
+  ch_problem : Spdistal.problem;  (* the problem, re-planned *)
+  ch_label : string;
+  ch_total : float;
+  ch_cached : bool;  (* the winner came from the cache, unpriced *)
+}
+
+let hand_candidate (p : Spdistal.problem) =
+  {
+    Search.c_label = "hand";
+    c_schedule = p.Spdistal.schedule;
+    c_tdns = List.map (fun (n, _, tdn) -> (n, tdn)) p.Spdistal.operands;
+  }
+
+(* Price the generated candidates and the hand schedule.  Generated
+   candidates come first so a generated point that ties the hand price wins
+   the tie — the differential suite exercises the interesting path. *)
+let evaluate p =
+  let cands = Search.candidates p @ [ hand_candidate p ] in
+  List.map
+    (fun c ->
+      {
+        v_label = c.Search.c_label;
+        v_candidate = c;
+        v_priced = Price.price (Search.apply p c);
+      })
+    cands
+
+let best verdicts =
+  List.fold_left
+    (fun acc v ->
+      match (acc, v.v_priced) with
+      | None, Ok pr -> Some (v.v_candidate, pr)
+      | Some (_, b), Ok pr when pr.Price.pr_total < b.Price.pr_total ->
+          Some (v.v_candidate, pr)
+      | _ -> acc)
+    None verdicts
+
+let report p =
+  let verdicts = evaluate p in
+  {
+    rp_verdicts = verdicts;
+    rp_naive = Price.price (Search.apply p (Search.naive p));
+    rp_winner = best verdicts;
+  }
+
+let choose ?cache (p : Spdistal.problem) =
+  let key () =
+    Cache.winner_digest ~machine:p.Spdistal.machine
+      ~operands:p.Spdistal.operands ~stmt:p.Spdistal.stmt
+  in
+  let cached =
+    match cache with
+    | None -> None
+    | Some c -> Cache.find_winner c (key ())
+  in
+  match cached with
+  | Some w ->
+      Some
+        {
+          ch_problem =
+            Spdistal.with_schedule p ~schedule:w.Cache.w_schedule
+              ~tdns:w.Cache.w_tdns;
+          ch_label = w.Cache.w_label;
+          ch_total = w.Cache.w_total;
+          ch_cached = true;
+        }
+  | None -> (
+      match best (evaluate p) with
+      | None -> None
+      | Some (c, pr) ->
+          (match cache with
+          | None -> ()
+          | Some cch ->
+              Cache.remember_winner cch (key ())
+                {
+                  Cache.w_label = c.Search.c_label;
+                  w_schedule = c.Search.c_schedule;
+                  w_tdns = c.Search.c_tdns;
+                  w_total = pr.Price.pr_total;
+                });
+          Some
+            {
+              ch_problem = Search.apply p c;
+              ch_label = c.Search.c_label;
+              ch_total = pr.Price.pr_total;
+              ch_cached = false;
+            })
+
+let schedule ?cache p =
+  match choose ?cache p with Some c -> c.ch_problem | None -> p

@@ -1,0 +1,29 @@
+(** Dry-run pricing: evaluate a fully-specified problem with the existing
+    cost model without executing any leaf.
+
+    The partitioning bill is exact by construction — pricing runs the same
+    placement-lowering / compile / partition-materialization pipeline a cold
+    [Spdistal.run] runs and charges the same [Cache.partition_seconds] on
+    the same [Part_eval.stats], so [(priced).pr_cost.Cost.partitioning] is
+    bit-equal to the partitioning cost of a cold run of the same schedule.
+    Communication is exact over the materialized partitions (the per-piece
+    fetch/broadcast/reduce math mirrors the interpreter); leaf time is a
+    statistical estimate on the shared work model.  Faults and memory
+    pressure are ignored (fault-free steady-state pricing). *)
+
+open Spdistal_runtime
+
+type priced = {
+  pr_total : float;  (** simulated seconds of one cold application *)
+  pr_cost : Cost.t;
+  pr_part_seconds : float;  (** dependent-partitioning component *)
+  pr_part_ops : int;
+  pr_launches : int;  (** distributed launches in the lowered program *)
+}
+
+val total : priced -> float
+
+(** Price one candidate.  [Error reason] when the candidate does not lower,
+    place or classify (an infeasible point of the search space), never an
+    exception. *)
+val price : Core.Spdistal.problem -> (priced, string) result

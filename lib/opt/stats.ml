@@ -1,0 +1,99 @@
+(* Per-index sparsity statistics, derived from the actual level structures
+   the operands are bound to (not from metadata the user asserts).  This is
+   the Galley half of the auto-scheduler: cardinality, distinct-coordinate
+   and fill estimates per tensor dimension feed the candidate pricer's leaf
+   work model, complementing the dependent-partitioning work already tallied
+   by [Part_eval.stats]. *)
+
+open Spdistal_exec
+open Spdistal_formats
+
+type t = {
+  ts_name : string;
+  ts_sparse : bool;
+  ts_dims : int array;
+  ts_nnz : int;  (* stored values; dense operands count every element *)
+  ts_distinct : int array;  (* distinct stored coordinates per dimension *)
+  ts_fill : float array;  (* distinct / extent, in [0, 1] *)
+  ts_bytes : float;  (* payload footprint *)
+}
+
+let of_operand name (d : Operand.data) =
+  match d with
+  | Operand.Sparse t ->
+      let dims = t.Tensor.dims in
+      let nd = Array.length dims in
+      let seen = Array.map (fun n -> Array.make (max n 1) false) dims in
+      let distinct = Array.make nd 0 in
+      Tensor.iter_nnz t (fun coords _ _ ->
+          for k = 0 to nd - 1 do
+            let c = coords.(k) in
+            if not seen.(k).(c) then begin
+              seen.(k).(c) <- true;
+              distinct.(k) <- distinct.(k) + 1
+            end
+          done);
+      {
+        ts_name = name;
+        ts_sparse = true;
+        ts_dims = Array.copy dims;
+        ts_nnz = Tensor.nnz t;
+        ts_distinct = distinct;
+        ts_fill =
+          Array.mapi
+            (fun k n -> float_of_int distinct.(k) /. float_of_int (max n 1))
+            dims;
+        ts_bytes = Operand.bytes d;
+      }
+  | Operand.Vec _ | Operand.Mat _ ->
+      let nd = Operand.order d in
+      let dims = Array.init nd (Operand.dim d) in
+      {
+        ts_name = name;
+        ts_sparse = false;
+        ts_dims = dims;
+        ts_nnz = Array.fold_left ( * ) 1 dims;
+        ts_distinct = Array.copy dims;
+        ts_fill = Array.map (fun _ -> 1.) dims;
+        ts_bytes = Operand.bytes d;
+      }
+
+let of_bindings (b : Operand.bindings) =
+  List.map (fun (name, (slot : Operand.slot)) -> of_operand name slot.Operand.data) b
+
+let find stats name =
+  match List.find_opt (fun s -> s.ts_name = name) stats with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Stats.find: no statistics for %s" name)
+
+let density s =
+  let cells = Array.fold_left ( * ) 1 s.ts_dims in
+  float_of_int s.ts_nnz /. float_of_int (max cells 1)
+
+let avg_slice_nnz s =
+  float_of_int s.ts_nnz /. float_of_int (max s.ts_distinct.(0) 1)
+
+(* Distinct leading coordinates a shard of [nnz_shard] stored values is
+   expected to touch, under the proportionality model (shards are
+   position-space or row-block contiguous, both of which sample rows roughly
+   in proportion to their non-zero mass).  Clamped into [1, min distinct
+   nnz_shard] so degenerate shards stay sane. *)
+let rows_estimate s ~nnz_shard =
+  if nnz_shard <= 0 then 0
+  else
+    let d0 = max s.ts_distinct.(0) 1 in
+    let est =
+      int_of_float
+        (Float.ceil
+           (float_of_int nnz_shard *. float_of_int d0
+           /. float_of_int (max s.ts_nnz 1)))
+    in
+    max 1 (min (min d0 nnz_shard) est)
+
+let pp fmt s =
+  Format.fprintf fmt "%s: nnz=%d dims=[%s] distinct=[%s] fill=[%s]" s.ts_name
+    s.ts_nnz
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.ts_dims)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.ts_distinct)))
+    (String.concat ";"
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") s.ts_fill)))

@@ -1,0 +1,34 @@
+(** Per-index sparsity statistics derived from actual tensor level
+    structures — the inputs of the auto-scheduler's cost ranking (Galley's
+    insight applied to SpDISTAL's schedule/TDN space). *)
+
+open Spdistal_exec
+
+type t = {
+  ts_name : string;
+  ts_sparse : bool;
+  ts_dims : int array;  (** logical dimension extents *)
+  ts_nnz : int;  (** stored values (every element for dense operands) *)
+  ts_distinct : int array;  (** distinct stored coordinates per dimension *)
+  ts_fill : float array;  (** distinct / extent per dimension *)
+  ts_bytes : float;  (** payload footprint in bytes *)
+}
+
+val of_operand : string -> Operand.data -> t
+val of_bindings : Operand.bindings -> t list
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find : t list -> string -> t
+
+(** Stored values / logical cells. *)
+val density : t -> float
+
+(** Average stored values per distinct leading coordinate. *)
+val avg_slice_nnz : t -> float
+
+(** Expected distinct leading coordinates touched by a contiguous shard of
+    [nnz_shard] stored values (proportionality model, clamped to
+    [[1, min distinct nnz_shard]]; 0 for an empty shard). *)
+val rows_estimate : t -> nnz_shard:int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -32,6 +32,7 @@ type config = {
   s_retry_budget : int;  (* per-tenant re-admissions *)
   s_blacklist_after : int;  (* crash strikes before a node is blacklisted *)
   s_faults : Fault.config;
+  s_auto : bool;  (* auto-schedule catalog problems (winners share the cache) *)
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     s_retry_budget = 2;
     s_blacklist_after = 3;
     s_faults = Fault.disabled;
+    s_auto = false;
   }
 
 let validate cfg =
@@ -135,6 +137,14 @@ let context t query =
   | Some ctx -> ctx
   | None ->
       let problem = Catalog.problem ~machine:t.machine query in
+      (* Auto mode reschedules each catalog problem once per (machine,
+         pattern): the winner is remembered in the shared cache, so later
+         contexts (and machine rebuilds after blacklisting) replan for
+         free. *)
+      let problem =
+        if t.cfg.s_auto then Spdistal_opt.Auto.schedule ~cache:t.cache problem
+        else problem
+      in
       let ctx = Spdistal.Context.create ~shared_cache:t.cache problem in
       Hashtbl.replace t.contexts query ctx;
       ctx

@@ -24,10 +24,16 @@ type config = {
   s_blacklist_after : int;
       (** crash strikes before a node is blacklisted *)
   s_faults : Fault.config;
+  s_auto : bool;
+      (** replace each catalog problem's hand schedule with the
+          auto-scheduler's pick ({!Spdistal_opt.Auto.schedule}); winners are
+          remembered in the shared cache, so rescheduling is priced once per
+          (machine, pattern).  The single-tenant baseline keeps the hand
+          schedules. *)
 }
 
 (** 4 nodes, queue bound 32, 1 MiB cache budget, 2 retries/tenant,
-    blacklist after 3 strikes, faults disabled. *)
+    blacklist after 3 strikes, faults disabled, auto-scheduling off. *)
 val default_config : config
 
 type outcome =

@@ -72,8 +72,41 @@ let test_report_text () =
   check_golden "spmv_iter3_report.txt"
     (strip_wall (Format.asprintf "%a" Report.pp (fixed_report ())))
 
+(* The auto-scheduler's pricing table over the fixed-seed kernel catalog:
+   every candidate's priced cost (or infeasibility) plus the winner per
+   kernel.  The prices are pure functions of the (seeded) problems, so the
+   table is byte-deterministic; a diff here means the search space, the
+   cost model or the tie-breaking changed. *)
+let auto_report_table () =
+  let open Spdistal_opt in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "kernel,candidate,total_s\n";
+  List.iter
+    (fun (name, make) ->
+      let rp = Auto.report (make ()) in
+      let row label = function
+        | Ok pr -> Printf.sprintf "%s,%s,%.9e\n" name label (Price.total pr)
+        | Error _ -> Printf.sprintf "%s,%s,infeasible\n" name label
+      in
+      List.iter
+        (fun v -> Buffer.add_string b (row v.Auto.v_label v.Auto.v_priced))
+        rp.Auto.rp_verdicts;
+      Buffer.add_string b (row "naive" rp.Auto.rp_naive);
+      Buffer.add_string b
+        (match rp.Auto.rp_winner with
+        | Some (c, pr) ->
+            Printf.sprintf "%s,winner=%s,%.9e\n" name c.Search.c_label
+              (Price.total pr)
+        | None -> Printf.sprintf "%s,winner=none,\n" name))
+    (Helpers.kernel_problems () @ Helpers.nnz_kernel_problems ());
+  Buffer.contents b
+
+let test_auto_report () =
+  check_golden "auto_report.csv" (auto_report_table ())
+
 let suite =
   [
     Alcotest.test_case "report csv golden" `Quick test_report_csv;
     Alcotest.test_case "report text golden" `Quick test_report_text;
+    Alcotest.test_case "auto report golden" `Quick test_auto_report;
   ]

@@ -44,4 +44,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("serve", Test_serve.suite);
+      ("opt", Test_opt.suite);
     ]
