@@ -536,7 +536,11 @@ let run_serve () =
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path = "results/serve.csv" in
   let oc = open_out path in
+  output_string oc (Server.csv_comment ^ "\n");
   output_string oc (Server.csv_header ^ "\n");
+  let tpath = "results/serve_tenants.csv" in
+  let toc = open_out tpath in
+  output_string toc (Server.tenants_csv_header ^ "\n");
   List.iter
     (fun (scenario, gen, faults) ->
       let w = Workload.generate ~gen ~catalog:Catalog.names () in
@@ -559,10 +563,14 @@ let run_serve () =
         | Some b when b > 0. ->
             Printf.sprintf " (%.2fx single-tenant)" (r.Server.r_throughput /. b)
         | _ -> "");
-      output_string oc (Server.csv_row ~scenario r ^ "\n"))
+      output_string oc (Server.csv_row ~scenario r ^ "\n");
+      List.iter
+        (fun row -> output_string toc (row ^ "\n"))
+        (Server.tenants_csv_rows ~scenario r))
     scenarios;
   close_out oc;
-  Printf.printf "serve scenarios written: %s\n" path
+  close_out toc;
+  Printf.printf "serve scenarios written: %s, %s\n" path tpath
 
 (* ------------------------------------------------------------------ *)
 (* Auto-scheduler tournament: the evaluation kernels priced naive vs   *)

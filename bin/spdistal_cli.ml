@@ -16,6 +16,9 @@ open Spdistal_experiments
 module Trace = Spdistal_obs.Trace
 module Chrome_trace = Spdistal_obs.Chrome_trace
 module Report = Spdistal_obs.Report
+module Metrics = Spdistal_obs.Metrics
+module Log = Spdistal_obs.Log
+module Slo = Spdistal_obs.Slo
 
 let kernel_conv =
   let parse s =
@@ -735,10 +738,40 @@ let serve_cmd =
             "Write a Chrome trace-event JSON of the serve run (tenant job \
              spans + runtime spans) to $(docv).")
   in
+  let metrics_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"DIR"
+          ~doc:
+            "Enable the live metrics plane and write its outputs under \
+             $(docv): $(b,metrics.csv)/$(b,metrics.jsonl) (snapshot rows \
+             scraped on the simulated clock — bit-identical across \
+             $(b,--domains)), $(b,metrics.prom) (Prometheus text \
+             exposition of the final state) and $(b,events.jsonl) (the \
+             structured event log).")
+  in
+  let slo_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:
+            "Evaluate the service-level objectives in $(docv) (one per \
+             line, e.g. $(b,p99_ms <= 200), optional $(b,budget=F)) over \
+             the scraped metric windows and exit non-zero on violation.  \
+             Implies the metrics plane even without $(b,--metrics).")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "metrics-interval" ] ~docv:"S"
+          ~doc:"Scrape interval on the simulated clock, seconds.")
+  in
   let f trace_in save_trace jobs tenants rate alpha seed deadline burst nodes
       queue_bound cache_budget retry_budget blacklist_after auto fseed frate
-      fretries baseline out scenario chrome_trace metrics_out domains
-      leaf_backend =
+      fretries baseline out scenario chrome_trace metrics_dir slo_file
+      metrics_interval domains leaf_backend =
     set_domains domains;
     set_leaf_backend leaf_backend;
     let workload =
@@ -779,22 +812,71 @@ let serve_cmd =
         s_auto = auto;
       }
     in
-    let trace =
-      if chrome_trace <> None || metrics_out <> None then Trace.create ()
-      else Trace.null
+    (* The metrics plane: one registry + event log installed as the ambient
+       defaults (every instrumented library writes to them), and a scraper
+       that the serve loop ticks on its virtual clock. *)
+    let want_obs = metrics_dir <> None || slo_file <> None in
+    let registry = if want_obs then Metrics.create () else Metrics.null in
+    let logger = if want_obs then Log.create ~level:Log.Debug () else Log.null in
+    let scrape =
+      if want_obs then
+        Some (Metrics.Scrape.create ~interval:metrics_interval registry)
+      else None
     in
-    let report = Server.run ~trace ~baseline cfg workload in
+    if want_obs then begin
+      Metrics.set_default registry;
+      Log.set_default logger
+    end;
+    let trace = if chrome_trace <> None then Trace.create () else Trace.null in
+    let report = Server.run ~trace ?scrape ~baseline cfg workload in
     Format.printf "%a@." Server.pp_report report;
     (match out with
     | Some path ->
         let oc = open_out path in
+        output_string oc (Server.csv_comment ^ "\n");
         output_string oc (Server.csv_header ^ "\n");
         output_string oc (Server.csv_row ~scenario report ^ "\n");
         close_out oc;
         Printf.printf "report written to %s\n" path
     | None -> ());
-    finish_trace trace chrome_trace metrics_out;
-    0
+    (match metrics_dir with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let write_file name s =
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc s;
+          close_out oc
+        in
+        Option.iter
+          (fun s ->
+            write_file "metrics.csv" (Metrics.Scrape.to_csv s);
+            write_file "metrics.jsonl" (Metrics.Scrape.to_jsonl s))
+          scrape;
+        write_file "metrics.prom" (Metrics.expose registry);
+        Log.write logger ~path:(Filename.concat dir "events.jsonl");
+        Printf.printf "metrics written to %s\n" dir
+    | None -> ());
+    finish_trace trace chrome_trace None;
+    match slo_file with
+    | None -> 0
+    | Some path -> (
+        match Slo.load path with
+        | Error msg ->
+            Printf.eprintf "slo: %s\n" msg;
+            2
+        | Ok objectives -> (
+            let windows =
+              match scrape with
+              | Some s -> Slo.windows_of_samples (Metrics.Scrape.rows s)
+              | None -> []
+            in
+            match Slo.evaluate objectives windows with
+            | Error msg ->
+                Printf.eprintf "slo: %s\n" msg;
+                2
+            | Ok verdicts ->
+                print_endline (Slo.report verdicts);
+                if Slo.ok verdicts then 0 else 1))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -809,7 +891,84 @@ let serve_cmd =
       $ queue_bound_arg $ cache_budget_arg $ retry_budget_arg $ blacklist_arg
       $ auto_arg $ fault_seed_arg $ fault_rate_arg $ max_retries_arg
       $ baseline_arg $ out_arg $ scenario_arg $ chrome_trace_arg
-      $ metrics_out_arg $ domains_arg $ leaf_backend_arg)
+      $ metrics_dir_arg $ slo_file_arg $ metrics_interval_arg $ domains_arg
+      $ leaf_backend_arg)
+
+let slo_cmd =
+  let csv_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CSV")
+  in
+  let slo_file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:
+            "Objective file, one per line: $(b,METRIC OP BOUND) with OP one \
+             of <=, >=, <, >, optionally followed by $(b,budget=F) (allowed \
+             violating window fraction).  $(b,#) starts a comment.")
+  in
+  let select_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "select" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "Keep only windows whose tag $(b,KEY) equals $(b,VALUE) — e.g. \
+             $(b,scenario=chaos) on results/serve.csv.")
+  in
+  let check =
+    let f csv slo select =
+      let read path =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let ( let* ) r k =
+        match r with
+        | Error msg ->
+            Printf.eprintf "slo: %s\n" msg;
+            Error 2
+        | Ok v -> k v
+      in
+      let result =
+        let* objectives = Slo.load slo in
+        let* windows = Slo.windows_of_csv (read csv) in
+        let* windows =
+          match select with
+          | None -> Ok windows
+          | Some kv -> (
+              match String.index_opt kv '=' with
+              | None -> Error "--select expects KEY=VALUE"
+              | Some i ->
+                  Ok
+                    (Slo.select
+                       ~key:(String.sub kv 0 i)
+                       ~value:
+                         (String.sub kv (i + 1) (String.length kv - i - 1))
+                       windows))
+        in
+        let* verdicts = Slo.evaluate objectives windows in
+        print_endline (Slo.report verdicts);
+        Ok (if Slo.ok verdicts then 0 else 1)
+      in
+      match result with Ok code -> code | Error code -> code
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Evaluate the objectives in $(b,--slo) against a CSV: the \
+            scraper's long format (results/metrics.csv, one window per \
+            snapshot time) or a wide results table (results/serve.csv, one \
+            window per row).  Exit 0 when every objective holds within its \
+            error budget, 1 on violation, 2 on malformed input.")
+      Term.(const f $ csv_arg $ slo_file_arg $ select_arg)
+  in
+  Cmd.group
+    (Cmd.info "slo"
+       ~doc:"Service-level objectives over scraped metrics and results CSVs")
+    [ check ]
 
 let main =
   Cmd.group
@@ -818,7 +977,7 @@ let main =
     [
       run_cmd; prof_cmd; show_cmd; auto_cmd; table2_cmd; datasets_cmd;
       fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; ablations_cmd; fuzz_cmd;
-      trace_check_cmd; serve_cmd;
+      trace_check_cmd; serve_cmd; slo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -31,6 +31,7 @@ let with_schedule p ~schedule ~tdns =
 let bindings p = List.map (fun (n, s, _) -> (n, s)) p.operands
 
 module Trace = Spdistal_obs.Trace
+module Metrics = Spdistal_obs.Metrics
 
 let host_track () = Trace.Host (Domain.self () :> int)
 
@@ -238,6 +239,12 @@ module Context = struct
             | `Hit -> "cache_hit"
             | `Miss -> "cache_miss"
             | `Uncached -> "cache_bypass");
+        (if status = `Uncached then
+           let m = Metrics.default () in
+           if Metrics.enabled m then
+             Metrics.inc m
+               ~help:"iterations that skipped the launch-plan cache"
+               "spdistal_cache_bypass_total");
         (* Dependent partitioning is charged only when it actually ran: on
            the cold miss (and on every iteration of an uncached run).  Warm
            iterations reuse the cached partitions for free — the paper's
@@ -283,6 +290,18 @@ module Context = struct
             ~start:t_start
             ~dur:(Cost.total cost -. t_start)
             "iteration";
+        (* Live cache pressure on its own counter track, sampled once per
+           iteration (sim clock, so the series is deterministic). *)
+        (if Trace.enabled trace then
+           match ctx.cache with
+           | Some c ->
+               let s = Cache.stats c in
+               Trace.counter trace ~name:"cache_bytes" ~time:(Cost.total cost)
+                 [
+                   ("bytes", float_of_int s.Cache.bytes);
+                   ("entries", float_of_int s.Cache.entries);
+                 ]
+           | None -> ());
         stats :=
           { it_index = i; it_cache = status; it_cost = Cost.diff cost before }
           :: !stats;

@@ -10,6 +10,8 @@
 
 open Spdistal_runtime
 open Spdistal_ir
+module Metrics = Spdistal_obs.Metrics
+module Log = Spdistal_obs.Log
 
 type entry = {
   e_key : string;
@@ -239,17 +241,38 @@ let approx_bytes ~pieces ~launches ~part_elems =
 let touch t key =
   t.order <- key :: List.filter (fun k -> k <> key) t.order
 
+(* Ambient metrics.  All cache traffic happens on the driving domain (the
+   serve loop or Context.run), so the counters are deterministic; the
+   lookup fast path pays one enabled-check branch. *)
+let note_lookup result =
+  let m = Metrics.default () in
+  if Metrics.enabled m then
+    Metrics.inc m
+      ~labels:[ ("result", result) ]
+      ~help:"launch-plan cache lookups by outcome" "spdistal_cache_lookups_total"
+
+let note_occupancy t =
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    Metrics.set m ~help:"accounted bytes resident in the launch-plan cache"
+      "spdistal_cache_bytes" (float_of_int t.bytes);
+    Metrics.set m "spdistal_cache_entries"
+      (float_of_int (Hashtbl.length t.tbl))
+  end
+
 let find t key =
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
       t.hits <- t.hits + 1;
       e.e_hits <- e.e_hits + 1;
+      note_lookup "hit";
       (* A hit is a use: refresh recency so eviction is true LRU, not
          insertion-order FIFO. *)
       touch t key;
       Some e
   | None ->
       t.misses <- t.misses + 1;
+      note_lookup "miss";
       None
 
 let remove_key t key =
@@ -271,8 +294,26 @@ let rec evict_to_fit t =
   if Hashtbl.length t.tbl > t.cap || over_budget t then
     match List.rev t.order with
     | lru :: _ ->
+        let freed =
+          match Hashtbl.find_opt t.tbl lru with
+          | Some e -> e.e_bytes
+          | None -> 0
+        in
         remove_key t lru;
         t.evictions <- t.evictions + 1;
+        let m = Metrics.default () in
+        if Metrics.enabled m then
+          Metrics.inc m ~help:"entries evicted to satisfy cap or byte budget"
+            "spdistal_cache_evictions_total";
+        let lg = Log.default () in
+        if Log.enabled lg then
+          Log.event lg ~level:Log.Debug
+            ~fields:
+              [
+                ("key", Spdistal_obs.Trace.S lru);
+                ("bytes", Spdistal_obs.Trace.I freed);
+              ]
+            "cache_evicted";
         evict_to_fit t
     | [] -> ()
 
@@ -284,7 +325,8 @@ let add t entry =
     evict_to_fit t;
     (* The peak is sampled after eviction: it tracks the cache's resting
        footprint, which never exceeds the budget. *)
-    t.bytes_peak <- max t.bytes_peak t.bytes
+    t.bytes_peak <- max t.bytes_peak t.bytes;
+    note_occupancy t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -327,7 +369,13 @@ let invalidate t ~machine ~crashed key =
             (Machine.pieces_on_node machine node))
         crashed;
       remove_key t key);
-  t.invalidations <- t.invalidations + 1
+  t.invalidations <- t.invalidations + 1;
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    Metrics.inc m ~help:"entries dropped after node crashes"
+      "spdistal_cache_invalidations_total";
+    note_occupancy t
+  end
 
 let stats t =
   {

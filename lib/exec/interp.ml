@@ -102,6 +102,30 @@ type piece_sim = {
 }
 
 module Trace = Spdistal_obs.Trace
+module Metrics = Spdistal_obs.Metrics
+
+(* Ambient fault counters, bumped on the reducing domain in piece order (the
+   same place recovery is priced) so the series is deterministic at every
+   --domains degree. *)
+let note_fault_metrics r =
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    let kind k n =
+      if n > 0 then
+        Metrics.inc m
+          ~labels:[ ("kind", k) ]
+          ~by:(float_of_int n)
+          ~help:"injected fault events by kind" "spdistal_fault_events_total"
+    in
+    kind "crash" r.Fault.crashes;
+    kind "loss" r.Fault.losses;
+    kind "straggler" r.Fault.stragglers;
+    if r.Fault.retries > 0 then
+      Metrics.inc m
+        ~by:(float_of_int r.Fault.retries)
+        ~help:"piece re-executions forced by injected faults"
+        "spdistal_fault_retries_total"
+  end
 
 (* A prepared program: materialized partitions, the distributed loops, and —
    under the compiled backend — one monomorphized closure per loop, aligned
@@ -476,6 +500,7 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
                     (r.Fault.extra_comm +. r.Fault.extra_leaf);
                   comm_times.(c) <- !comm_time +. r.Fault.extra_comm;
                   leaf_times.(c) <- lt +. r.Fault.extra_leaf;
+                  note_fault_metrics r;
                   if Trace.enabled trace && Fault.events r > 0 then
                     Trace.span trace
                       ~track:
@@ -531,7 +556,14 @@ let run ~machine ~bindings ~placement ?memstate ~cost ?domains ?faults ?trace
                 ]
               ~start:t0
               ~dur:(Cost.total cost -. t0)
-              kernel
+              kernel;
+            (* Live pool pressure on its own counter track: pieces in
+               flight jump at launch start and drain at launch end (both
+               sim-clock, so the sawtooth is deterministic). *)
+            Trace.counter trace ~name:"pool_occupancy" ~time:t0
+              [ ("pieces", float_of_int pieces) ];
+            Trace.counter trace ~name:"pool_occupancy" ~time:(Cost.total cost)
+              [ ("pieces", 0.) ]
           end;
           (* --- output reduction for aliased ownership --- *)
           (match out_comm with

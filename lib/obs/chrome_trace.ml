@@ -5,6 +5,8 @@
 let pid_runtime = 1
 let pid_host = 2
 let pid_tenants = 3
+let pid_cache = 4
+let pid_pool = 5
 let pid_of_node n = 100 + n
 
 let track_ids = function
@@ -12,6 +14,19 @@ let track_ids = function
   | Trace.Piece { node; piece } -> (pid_of_node node, piece)
   | Trace.Host d -> (pid_host, d)
   | Trace.Tenant t -> (pid_tenants, t)
+
+(* Pressure counters get their own process groups so Perfetto draws them as
+   standalone counter tracks instead of burying them under the runtime
+   spine; everything else stays on the runtime track. *)
+let counter_pid = function
+  | "cache_bytes" -> pid_cache
+  | "pool_occupancy" -> pid_pool
+  | _ -> pid_runtime
+
+let counter_pid_name = function
+  | "cache_bytes" -> Some "cache pressure"
+  | "pool_occupancy" -> Some "domain pool"
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -72,7 +87,8 @@ let span_event (sp : Trace.span) =
 let counter_event (c : Trace.counter) =
   Printf.sprintf
     "{\"ph\":\"C\",\"name\":%s,\"pid\":%d,\"tid\":0,\"ts\":%s,\"args\":%s}"
-    (jstr c.Trace.ct_name) pid_runtime
+    (jstr c.Trace.ct_name)
+    (counter_pid c.Trace.ct_name)
     (jfloat (usec c.Trace.ct_time))
     (jargs (List.map (fun (k, v) -> (k, Trace.F v)) c.Trace.ct_series))
 
@@ -105,6 +121,12 @@ let to_json t =
     end
   in
   add_pid pid_runtime "sim runtime";
+  List.iter
+    (fun (c : Trace.counter) ->
+      match counter_pid_name c.Trace.ct_name with
+      | Some name -> add_pid (counter_pid c.Trace.ct_name) name
+      | None -> ())
+    (Trace.counters t);
   Hashtbl.iter
     (fun tr () ->
       match tr with
@@ -141,7 +163,7 @@ let to_json t =
       spans
     @ List.map
         (fun (c : Trace.counter) ->
-          ((pid_runtime, 0), c.Trace.ct_time, counter_event c))
+          ((counter_pid c.Trace.ct_name, 0), c.Trace.ct_time, counter_event c))
         (Trace.counters t)
   in
   let by_track = Hashtbl.create 16 in

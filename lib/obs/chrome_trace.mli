@@ -11,7 +11,20 @@
     units are safe; see DESIGN.md "Observability").
 
     Within every track, events are written sorted by [ts] — the property
-    {!validate} (and the CI smoke job) checks. *)
+    {!validate} (and the CI smoke job) checks.
+
+    Pressure counters named ["cache_bytes"] and ["pool_occupancy"] are
+    routed to dedicated process groups ([pid = 4] "cache pressure" and
+    [pid = 5] "domain pool") so they render as standalone counter tracks;
+    all other counters share the runtime spine. *)
+
+(** The [(pid, tid)] pair a track's events carry in the exported file.
+    [Log] renders the same ids on its JSONL lines so log entries correlate
+    with spans. *)
+val track_ids : Trace.track -> int * int
+
+(** JSON string-body escaping (shared with [Log]'s JSONL rendering). *)
+val escape : string -> string
 
 val to_json : Trace.t -> string
 

@@ -1,0 +1,373 @@
+(* Declarative SLOs evaluated over metric snapshot windows.  Pure string and
+   float plumbing — no dependency on the runtime, so the CLI can check a CSV
+   without constructing a server. *)
+
+type op = Le | Ge | Lt | Gt
+
+let op_name = function Le -> "<=" | Ge -> ">=" | Lt -> "<" | Gt -> ">"
+
+type objective = {
+  o_metric : string;
+  o_op : op;
+  o_bound : float;
+  o_budget : float;
+}
+
+let objective_to_string o =
+  let base = Printf.sprintf "%s %s %g" o.o_metric (op_name o.o_op) o.o_bound in
+  if o.o_budget > 0. then Printf.sprintf "%s budget=%g" base o.o_budget
+  else base
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Find the first comparison operator; two-char forms first so "<=" is not
+   read as "<". *)
+let split_op line =
+  let ops = [ ("<=", Le); (">=", Ge); ("<", Lt); (">", Gt) ] in
+  let rec find = function
+    | [] -> None
+    | (sym, op) :: rest -> (
+        let sl = String.length sym and n = String.length line in
+        let rec at i =
+          if i + sl > n then None
+          else if String.sub line i sl = sym then Some i
+          else at (i + 1)
+        in
+        match at 0 with
+        | Some i ->
+            Some (String.sub line 0 i, op, String.sub line (i + sl) (n - i - sl))
+        | None -> find rest)
+  in
+  find ops
+
+let parse_line line =
+  let body = String.trim (strip_comment line) in
+  if body = "" then Ok None
+  else
+    match split_op body with
+    | None -> Error (Printf.sprintf "no comparison operator in %S" line)
+    | Some (lhs, op, rhs) -> (
+        let metric = String.trim lhs in
+        if metric = "" then Error (Printf.sprintf "missing metric name in %S" line)
+        else
+          let rhs_parts =
+            String.split_on_char ' ' (String.trim rhs)
+            |> List.filter (fun s -> s <> "")
+          in
+          match rhs_parts with
+          | [] -> Error (Printf.sprintf "missing bound in %S" line)
+          | bound_s :: rest -> (
+              match float_of_string_opt bound_s with
+              | None -> Error (Printf.sprintf "bad bound %S in %S" bound_s line)
+              | Some bound -> (
+                  let budget =
+                    match rest with
+                    | [] -> Ok 0.
+                    | [ kv ] -> (
+                        match String.split_on_char '=' kv with
+                        | [ "budget"; v ] -> (
+                            match float_of_string_opt v with
+                            | Some b when b >= 0. && b <= 1. -> Ok b
+                            | _ ->
+                                Error
+                                  (Printf.sprintf "bad budget %S in %S" v line))
+                        | _ -> Error (Printf.sprintf "unexpected %S in %S" kv line))
+                    | _ -> Error (Printf.sprintf "trailing garbage in %S" line)
+                  in
+                  match budget with
+                  | Error e -> Error e
+                  | Ok budget ->
+                      Ok
+                        (Some
+                           {
+                             o_metric = metric;
+                             o_op = op;
+                             o_bound = bound;
+                             o_budget = budget;
+                           }))))
+
+let parse text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Error e -> Error e
+        | Ok None -> go acc rest
+        | Ok (Some o) -> go (o :: acc) rest)
+  in
+  match go [] (String.split_on_char '\n' text) with
+  | Ok [] -> Error "no objectives in SLO file"
+  | r -> r
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | text -> parse text
+
+(* ------------------------------------------------------------------ *)
+(* Windows                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type window = {
+  w_time : float;
+  w_tags : (string * string) list;
+  w_values : (string * float) list;
+}
+
+let windows_of_samples rows =
+  List.map
+    (fun (t, samples) ->
+      {
+        w_time = t;
+        w_tags = [];
+        w_values =
+          List.map
+            (fun sm -> (Metrics.sample_id sm, sm.Metrics.sm_value))
+            samples;
+      })
+    rows
+
+let data_lines text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line =
+           (* tolerate CRLF *)
+           if String.length line > 0 && line.[String.length line - 1] = '\r'
+           then String.sub line 0 (String.length line - 1)
+           else line
+         in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+let windows_of_long_csv lines =
+  (* t_s,metric,value — windows in order of first appearance of each time *)
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec go i = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match String.split_on_char ',' line with
+        | [ t_s; metric; v_s ] -> (
+            match (float_of_string_opt t_s, float_of_string_opt v_s) with
+            | Some t, Some v ->
+                if not (Hashtbl.mem tbl t) then begin
+                  Hashtbl.add tbl t (ref []);
+                  order := t :: !order
+                end;
+                let cell = Hashtbl.find tbl t in
+                cell := (metric, v) :: !cell;
+                go (i + 1) rest
+            | _ -> Error (Printf.sprintf "bad numeric field on data line %d" i))
+        | _ -> Error (Printf.sprintf "expected 3 fields on data line %d" i))
+  in
+  match go 1 lines with
+  | Error e -> Error e
+  | Ok () ->
+      Ok
+        (List.rev_map
+           (fun t ->
+             { w_time = t; w_tags = []; w_values = List.rev !(Hashtbl.find tbl t) })
+           !order)
+
+let windows_of_wide_csv header lines =
+  let cols = String.split_on_char ',' header in
+  let time_col =
+    List.find_opt (fun c -> c = "t_s" || c = "time" || c = "time_s") cols
+  in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let cells = String.split_on_char ',' line in
+        if List.length cells <> List.length cols then
+          Error
+            (Printf.sprintf "data line %d has %d fields, header has %d" i
+               (List.length cells) (List.length cols))
+        else begin
+          let values = ref [] and tags = ref [] and time = ref None in
+          List.iter2
+            (fun col cell ->
+              match float_of_string_opt cell with
+              | Some v ->
+                  if Some col = time_col then time := Some v
+                  else values := (col, v) :: !values
+              | None -> tags := (col, cell) :: !tags)
+            cols cells;
+          let w =
+            {
+              w_time =
+                (match !time with Some t -> t | None -> float_of_int (i - 1));
+              w_tags = List.rev !tags;
+              w_values = List.rev !values;
+            }
+          in
+          go (i + 1) (w :: acc) rest
+        end
+  in
+  go 1 [] lines
+
+let windows_of_csv text =
+  match data_lines text with
+  | [] -> Error "empty CSV"
+  | header :: rest ->
+      if
+        String.length header >= 14
+        && String.sub header 0 14 = "t_s,metric,val"
+      then windows_of_long_csv rest
+      else windows_of_wide_csv header rest
+
+let select ~key ~value windows =
+  List.filter (fun w -> List.assoc_opt key w.w_tags = Some value) windows
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  d_objective : objective;
+  d_keys : string list;
+  d_windows : int;
+  d_violations : int;
+  d_burn : float;
+  d_ok : bool;
+  d_worst : (float * float) option;
+}
+
+let base_name key =
+  match String.index_opt key '{' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let ends_with ~suffix s =
+  let sl = String.length suffix and n = String.length s in
+  n >= sl && String.sub s (n - sl) sl = suffix
+
+(* Resolution ladder: exact series id, exact base name, then "_"-suffix of
+   the base name.  The first rung with any match wins, so a fully-qualified
+   name never accidentally widens to a suffix family. *)
+let resolve_keys keys metric =
+  let pick f = List.filter f keys in
+  match pick (fun k -> String.equal k metric) with
+  | _ :: _ as exact -> exact
+  | [] -> (
+      match pick (fun k -> String.equal (base_name k) metric) with
+      | _ :: _ as base -> base
+      | [] -> pick (fun k -> ends_with ~suffix:("_" ^ metric) (base_name k)))
+
+let holds op bound v =
+  match op with
+  | Le -> v <= bound
+  | Ge -> v >= bound
+  | Lt -> v < bound
+  | Gt -> v > bound
+
+(* How far past the bound (positive = violating); used only to pick the
+   worst sample for the report. *)
+let deviation op bound v =
+  match op with Le | Lt -> v -. bound | Ge | Gt -> bound -. v
+
+let evaluate objectives windows =
+  if windows = [] then Error "no windows to evaluate"
+  else begin
+    let all_keys =
+      List.concat_map (fun w -> List.map fst w.w_values) windows
+      |> List.sort_uniq compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | o :: rest -> (
+          match resolve_keys all_keys o.o_metric with
+          | [] ->
+              Error
+                (Printf.sprintf "SLO metric %S matches no series (have: %s)"
+                   o.o_metric
+                   (String.concat ", " all_keys))
+          | keys ->
+              let windows_seen = ref 0 in
+              let violations = ref 0 in
+              let worst = ref None in
+              List.iter
+                (fun w ->
+                  let present =
+                    List.filter_map
+                      (fun k -> List.assoc_opt k w.w_values)
+                      keys
+                  in
+                  if present <> [] then begin
+                    incr windows_seen;
+                    let bad =
+                      List.filter (fun v -> not (holds o.o_op o.o_bound v)) present
+                    in
+                    if bad <> [] then begin
+                      incr violations;
+                      List.iter
+                        (fun v ->
+                          let d = deviation o.o_op o.o_bound v in
+                          match !worst with
+                          | Some (_, _, wd) when wd >= d -> ()
+                          | _ -> worst := Some (w.w_time, v, d))
+                        bad
+                    end
+                  end)
+                windows;
+              if !windows_seen = 0 then
+                Error
+                  (Printf.sprintf "SLO metric %S appears in no window"
+                     o.o_metric)
+              else begin
+                let burn =
+                  float_of_int !violations /. float_of_int !windows_seen
+                in
+                let v =
+                  {
+                    d_objective = o;
+                    d_keys = keys;
+                    d_windows = !windows_seen;
+                    d_violations = !violations;
+                    d_burn = burn;
+                    d_ok = burn <= o.o_budget;
+                    d_worst = Option.map (fun (t, v, _) -> (t, v)) !worst;
+                  }
+                in
+                go (v :: acc) rest
+              end)
+    in
+    go [] objectives
+  end
+
+let ok verdicts = List.for_all (fun v -> v.d_ok) verdicts
+
+let report verdicts =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun v ->
+      let o = v.d_objective in
+      Buffer.add_string b
+        (Printf.sprintf "%-4s %s [via %s]: %d/%d windows violated, burn %.3f %s budget %.3f"
+           (if v.d_ok then "ok" else "FAIL")
+           (objective_to_string o)
+           (String.concat "+" v.d_keys)
+           v.d_violations v.d_windows v.d_burn
+           (if v.d_ok then "<=" else ">")
+           o.o_budget);
+      (match v.d_worst with
+      | Some (t, value) ->
+          Buffer.add_string b
+            (Printf.sprintf " (worst %.6g at t=%.6g)" value t)
+      | None -> ());
+      Buffer.add_char b '\n')
+    verdicts;
+  Buffer.add_string b
+    (if ok verdicts then "SLO: all objectives met\n"
+     else "SLO: objectives violated\n");
+  Buffer.contents b

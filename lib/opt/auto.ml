@@ -6,6 +6,8 @@
 
 open Spdistal_exec
 module Spdistal = Core.Spdistal
+module Metrics = Spdistal_obs.Metrics
+module Log = Spdistal_obs.Log
 
 type verdict = {
   v_label : string;
@@ -65,6 +67,37 @@ let report p =
     rp_winner = best verdicts;
   }
 
+(* Ambient search metrics: decision counts and candidates priced are pure
+   facts of the problem stream (deterministic); the search wall time is a
+   host-clock fact and therefore wall-flagged out of the deterministic
+   snapshot.  The decision itself is also logged. *)
+let note_decision ~label ~total ~cached ~candidates ~seconds =
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    Metrics.inc m ~help:"auto-scheduler decisions" "spdistal_auto_searches_total";
+    if cached then
+      Metrics.inc m ~help:"decisions served from the winner cache"
+        "spdistal_auto_winner_cache_hits_total"
+    else begin
+      Metrics.inc m
+        ~by:(float_of_int candidates)
+        ~help:"schedule candidates priced by the auto-scheduler"
+        "spdistal_auto_candidates_priced_total";
+      Metrics.inc m ~by:seconds ~wall:true "spdistal_auto_search_seconds_total"
+    end
+  end;
+  let lg = Log.default () in
+  if Log.enabled lg then
+    Log.event lg
+      ~fields:
+        [
+          ("winner", Spdistal_obs.Trace.S label);
+          ("total_s", Spdistal_obs.Trace.F total);
+          ("cached", Spdistal_obs.Trace.B cached);
+          ("candidates", Spdistal_obs.Trace.I candidates);
+        ]
+      "auto_search_decided"
+
 let choose ?cache (p : Spdistal.problem) =
   let key () =
     Cache.winner_digest ~machine:p.Spdistal.machine
@@ -77,6 +110,8 @@ let choose ?cache (p : Spdistal.problem) =
   in
   match cached with
   | Some w ->
+      note_decision ~label:w.Cache.w_label ~total:w.Cache.w_total ~cached:true
+        ~candidates:0 ~seconds:0.;
       Some
         {
           ch_problem =
@@ -87,7 +122,10 @@ let choose ?cache (p : Spdistal.problem) =
           ch_cached = true;
         }
   | None -> (
-      match best (evaluate p) with
+      let t0 = Sys.time () in
+      let verdicts = evaluate p in
+      let seconds = Sys.time () -. t0 in
+      match best verdicts with
       | None -> None
       | Some (c, pr) ->
           (match cache with
@@ -100,6 +138,8 @@ let choose ?cache (p : Spdistal.problem) =
                   w_tdns = c.Search.c_tdns;
                   w_total = pr.Price.pr_total;
                 });
+          note_decision ~label:c.Search.c_label ~total:pr.Price.pr_total
+            ~cached:false ~candidates:(List.length verdicts) ~seconds;
           Some
             {
               ch_problem = Search.apply p c;

@@ -92,7 +92,7 @@ let seq_init n f =
     a
   end
 
-let map t f n =
+let run_map t f n =
   if n <= 0 then [||]
   else if t.nworkers = 0 || n = 1 then seq_init n f
   else begin
@@ -156,6 +156,30 @@ let map t f n =
                   i n)
           results
   end
+
+(* Ambient metrics, noted on the calling domain after the launch drains so
+   the counters are deterministic (piece counts don't depend on --domains).
+   Worker count and queue depth are configuration/wall facts, so those two
+   gauges are wall-flagged out of the deterministic snapshot. *)
+let note_metrics t n =
+  let m = Spdistal_obs.Metrics.default () in
+  if Spdistal_obs.Metrics.enabled m then begin
+    let open Spdistal_obs in
+    Metrics.inc m ~by:(float_of_int n)
+      ~help:"pieces mapped through the domain pool" "spdistal_pool_jobs_total";
+    Metrics.set m
+      ~help:"pieces in flight in the most recent pool launch"
+      "spdistal_pool_occupancy" (float_of_int n);
+    Metrics.set m ~wall:true "spdistal_pool_workers" (float_of_int t.nworkers);
+    let s = stats t in
+    Metrics.set m ~wall:true "spdistal_pool_queue_peak"
+      (float_of_int s.st_peak_queue)
+  end
+
+let map t f n =
+  let r = run_map t f n in
+  if n > 0 then note_metrics t n;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Profiled mapping: worker occupancy for the observability layer.      *)

@@ -21,6 +21,7 @@
    no longer meet. *)
 
 open Spdistal_runtime
+module Metrics = Spdistal_obs.Metrics
 
 type t = {
   base_bound : int;
@@ -55,11 +56,18 @@ let estimate t query =
    (the estimate is per-node-count-adjusted on read). *)
 let observe t query seconds =
   let seconds = seconds /. t.scale in
-  match Hashtbl.find_opt t.estimates query with
+  (match Hashtbl.find_opt t.estimates query with
   | None -> Hashtbl.replace t.estimates query seconds
   | Some e ->
       Hashtbl.replace t.estimates query
-        (((1. -. ewma_alpha) *. e) +. (ewma_alpha *. seconds))
+        (((1. -. ewma_alpha) *. e) +. (ewma_alpha *. seconds)));
+  let m = Metrics.default () in
+  if Metrics.enabled m then
+    Metrics.set m
+      ~labels:[ ("query", query) ]
+      ~help:"per-query EWMA service-time estimate (scale-1 sim seconds)"
+      "spdistal_serve_estimate_seconds"
+      (Hashtbl.find t.estimates query)
 
 (* One rung down the degradation ladder: [alive] of [total] nodes remain.
    The queue bound contracts with capacity (floored at 1 so the server
@@ -76,9 +84,20 @@ type decision = Admit | Reject of Error.t
 let reject t job_what phase fmt =
   Printf.ksprintf
     (fun what ->
-      (match phase with
-      | Error.Admission -> t.sheds_full <- t.sheds_full + 1
-      | _ -> t.sheds_hopeless <- t.sheds_hopeless + 1);
+      let reason =
+        match phase with
+        | Error.Admission ->
+            t.sheds_full <- t.sheds_full + 1;
+            "queue_full"
+        | _ ->
+            t.sheds_hopeless <- t.sheds_hopeless + 1;
+            "hopeless_deadline"
+      in
+      let m = Metrics.default () in
+      if Metrics.enabled m then
+        Metrics.inc m
+          ~labels:[ ("reason", reason) ]
+          ~help:"jobs shed at admission by reason" "spdistal_serve_shed_total";
       Reject
         { Error.phase; kernel = Some job_what; piece = None; node = None; what })
     fmt
@@ -90,6 +109,13 @@ let sheds_hopeless t = t.sheds_hopeless
 
 let decide t ~query ~depth ~backlog ~deadline =
   t.depth_peak <- max t.depth_peak depth;
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    Metrics.set m ~help:"admitted jobs in flight at the last arrival"
+      "spdistal_serve_queue_depth" (float_of_int depth);
+    Metrics.set m ~help:"current admission queue bound (degradation-scaled)"
+      "spdistal_serve_queue_bound" (float_of_int t.bound)
+  end;
   if depth >= t.bound then
     reject t query Error.Admission
       "queue full: depth %d >= bound %d (backlog %.4f s); retry later" depth

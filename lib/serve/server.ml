@@ -21,6 +21,8 @@
 
 open Spdistal_runtime
 module Trace = Spdistal_obs.Trace
+module Metrics = Spdistal_obs.Metrics
+module Log = Spdistal_obs.Log
 module Cache = Spdistal_exec.Cache
 module Spdistal = Core.Spdistal
 
@@ -76,6 +78,7 @@ type report = {
   r_failed : int;
   r_retries : int;
   r_p50_ms : float;
+  r_p95_ms : float;
   r_p99_ms : float;
   r_mean_ms : float;  (* all over completed jobs' response times *)
   r_hit_rate : float;  (* cache hits / lookups across the whole run *)
@@ -187,7 +190,24 @@ let strike t crashed =
     t.machine <- make_machine (List.length survivors);
     Hashtbl.reset t.contexts;
     Admission.degrade t.admission ~alive:(List.length survivors)
-      ~total:t.cfg.s_nodes
+      ~total:t.cfg.s_nodes;
+    let m = Metrics.default () in
+    if Metrics.enabled m then
+      Metrics.set m ~help:"nodes blacklisted after repeated crash strikes"
+        "spdistal_serve_blacklisted_nodes"
+        (float_of_int (List.length t.blacklisted));
+    let lg = Log.default () in
+    if Log.enabled lg then
+      Log.event lg ~level:Log.Warn
+        ~fields:
+          [
+            ( "blacklisted",
+              Trace.S
+                (String.concat ","
+                   (List.map string_of_int t.blacklisted)) );
+            ("alive", Trace.I (List.length survivors));
+          ]
+        "node_blacklisted"
   end
 
 (* Per-(job, attempt) fault seeding: every admission of every job draws an
@@ -297,7 +317,96 @@ let outcome_label = function
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Failed _ -> "failed"
 
-let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
+(* Per-job serve metrics and log events, emitted on the (sequential) serve
+   loop after each job settles — so the series are deterministic whenever
+   the run is.  Latencies go into three histogram families (aggregate,
+   per-tenant, per-query — separate families so label cardinality stays
+   additive), and the headline gauges (pXX_ms, shed/hit rate) are re-derived
+   after every job so scrape windows always see current values. *)
+let note_job_metrics t ~submitted ~shed_total (entry : job_log) =
+  let m = Metrics.default () in
+  if Metrics.enabled m then begin
+    let job = entry.l_job in
+    let outcome =
+      match entry.l_outcome with
+      | Completed _ -> "completed"
+      | Shed _ -> "shed"
+      | Deadline_exceeded _ -> "deadline"
+      | Failed _ -> "failed"
+    in
+    Metrics.inc m
+      ~labels:[ ("outcome", outcome) ]
+      ~help:"jobs settled by outcome" "spdistal_serve_jobs_total";
+    (match entry.l_outcome with
+    | Completed resp ->
+        Metrics.observe m ~help:"response time (wait + service), sim seconds"
+          "spdistal_serve_latency_seconds" resp;
+        Metrics.observe m
+          ~labels:[ ("tenant", string_of_int job.Workload.j_tenant) ]
+          "spdistal_serve_tenant_latency_seconds" resp;
+        Metrics.observe m
+          ~labels:[ ("query", job.Workload.j_query) ]
+          "spdistal_serve_query_latency_seconds" resp
+    | _ -> ());
+    let q suffix p =
+      match Metrics.quantile m "spdistal_serve_latency_seconds" p with
+      | Some s ->
+          Metrics.set m
+            ~help:"completed-job latency quantile (histogram bucket bound)"
+            ("spdistal_serve_" ^ suffix) (1e3 *. s)
+      | None -> ()
+    in
+    q "p50_ms" 0.50;
+    q "p95_ms" 0.95;
+    q "p99_ms" 0.99;
+    Metrics.set m ~help:"shed / submitted so far" "spdistal_serve_shed_rate"
+      (float_of_int shed_total /. float_of_int (max 1 submitted));
+    let cs = Cache.stats t.cache in
+    let lookups = cs.Cache.hits + cs.Cache.misses in
+    Metrics.set m
+      ~help:"shared-cache hits / lookups (lookups happen only for admitted attempts)"
+      "spdistal_serve_hit_rate"
+      (if lookups = 0 then 0.
+       else float_of_int cs.Cache.hits /. float_of_int lookups)
+  end
+
+let note_job_log (entry : job_log) =
+  let lg = Log.default () in
+  if Log.enabled lg then begin
+    let job = entry.l_job in
+    let span = Printf.sprintf "job %d %s" job.Workload.j_id job.Workload.j_query in
+    let track = Trace.Tenant job.Workload.j_tenant in
+    let base =
+      [
+        ("job", Trace.I job.Workload.j_id);
+        ("query", Trace.S job.Workload.j_query);
+        ("attempts", Trace.I entry.l_attempts);
+        ("hits", Trace.I entry.l_hits);
+      ]
+    in
+    match entry.l_outcome with
+    | Completed resp ->
+        Log.event lg ~time:(job.Workload.j_arrival +. resp) ~track ~span
+          ~fields:(base @ [ ("resp_ms", Trace.F (1e3 *. resp)) ])
+          "job_completed"
+    | Shed err ->
+        Log.event lg ~level:Log.Warn ~time:job.Workload.j_arrival ~track ~span
+          ~fields:(base @ [ ("reason", Trace.S (Error.to_string err)) ])
+          "job_shed"
+    | Deadline_exceeded charged ->
+        Log.event lg ~level:Log.Warn
+          ~time:(job.Workload.j_arrival +. job.Workload.j_deadline)
+          ~track ~span
+          ~fields:(base @ [ ("charged_s", Trace.F charged) ])
+          "job_deadline_exceeded"
+    | Failed err ->
+        Log.event lg ~level:Log.Error ~time:job.Workload.j_arrival ~track ~span
+          ~fields:(base @ [ ("error", Trace.S (Error.to_string err)) ])
+          "job_failed"
+  end
+
+let serve ?domains ?leaf_backend ?(trace = Trace.null) ?scrape t
+    (w : Workload.t) =
   let tenants =
     Array.init (max 1 w.Workload.w_tenants)
       (Tenant.create ~retry_budget:t.cfg.s_retry_budget)
@@ -309,13 +418,18 @@ let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
   in
   let log = ref [] in
   let shed_total = ref 0 in
+  let submitted = ref 0 in
   List.iter
     (fun (job : Workload.job) ->
       let tenant =
         tenants.(job.Workload.j_tenant mod Array.length tenants)
       in
       tenant.Tenant.submitted <- tenant.Tenant.submitted + 1;
+      incr submitted;
       let arrival = job.Workload.j_arrival in
+      (* Snapshot every interval boundary the virtual clock has crossed
+         before this arrival mutates anything. *)
+      Option.iter (fun s -> Metrics.Scrape.tick s ~now:arrival) scrape;
       (* Queue depth at arrival: admitted jobs that have not finished. *)
       t.finishes <- List.filter (fun f -> f > arrival) t.finishes;
       let depth = List.length t.finishes in
@@ -331,10 +445,31 @@ let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
             tenant.Tenant.shed <- tenant.Tenant.shed + 1;
             { l_job = job; l_outcome = Shed err; l_attempts = 0; l_hits = 0 }
         | Admission.Admit ->
+            (let lg = Log.default () in
+             if Log.enabled lg then
+               Log.event lg ~level:Log.Debug ~time:arrival
+                 ~track:(Trace.Tenant job.Workload.j_tenant)
+                 ~span:
+                   (Printf.sprintf "job %d %s" job.Workload.j_id
+                      job.Workload.j_query)
+                 ~fields:
+                   [
+                     ("job", Trace.I job.Workload.j_id);
+                     ("depth", Trace.I depth);
+                     ("backlog_s", Trace.F backlog);
+                   ]
+                 "job_admitted");
             let start = Float.max arrival t.free in
+            let busy_before = t.busy in
             let outcome, finish, attempts, hits =
               run_job t ?domains ?leaf_backend ~trace ~tenant job ~start
             in
+            (let m = Metrics.default () in
+             if Metrics.enabled m then
+               Metrics.inc m
+                 ~by:(t.busy -. busy_before)
+                 ~help:"sim seconds the service lane was occupied"
+                 "spdistal_serve_busy_seconds_total");
             t.free <- Float.max t.free finish;
             t.finishes <- finish :: t.finishes;
             (match outcome with
@@ -377,6 +512,8 @@ let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
              ("cache_bytes", float_of_int cs.Cache.bytes);
            ]
        end);
+      note_job_metrics t ~submitted:!submitted ~shed_total:!shed_total entry;
+      note_job_log entry;
       log := entry :: !log)
     jobs;
   let log = List.rev !log in
@@ -409,6 +546,13 @@ let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
         | _ -> Float.max acc l.l_job.Workload.j_arrival)
       0. log
   in
+  (* Close the scrape series: any boundaries the tail of the run crossed,
+     plus one final row at the makespan (the partial last window). *)
+  Option.iter
+    (fun s ->
+      Metrics.Scrape.tick s ~now:makespan;
+      Metrics.Scrape.force s ~now:makespan)
+    scrape;
   let cs = Cache.stats t.cache in
   let lookups = cs.Cache.hits + cs.Cache.misses in
   let total = List.length log in
@@ -425,6 +569,7 @@ let serve ?domains ?leaf_backend ?(trace = Trace.null) t (w : Workload.t) =
     r_failed = failed;
     r_retries = retries;
     r_p50_ms = 1e3 *. percentile sorted 0.50;
+    r_p95_ms = 1e3 *. percentile sorted 0.95;
     r_p99_ms = 1e3 *. percentile sorted 0.99;
     r_mean_ms = 1e3 *. mean;
     r_hit_rate =
@@ -500,10 +645,21 @@ let with_baseline ?domains ?leaf_backend report =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* hit_rate's denominator is every shared-cache lookup, and lookups happen
+   only for admitted job attempts (completed, deadline-exceeded or failed —
+   each attempt that reaches Context.run does exactly one); shed jobs never
+   touch the cache, so a heavily-shedding run can report a high hit rate on
+   very little traffic. *)
+let csv_comment =
+  "# hit_rate = shared-cache hits / lookups; only admitted attempts \
+   (completed/deadline/failed) perform lookups — shed jobs never reach the \
+   cache"
+
 let csv_header =
-  "scenario,nodes,jobs,completed,shed,deadline,failed,retries,p50_ms,p99_ms,\
-   mean_ms,hit_rate,shed_rate,throughput_jobs_s,baseline_jobs_s,speedup,\
-   makespan_s,busy_s,cache_bytes_peak,cache_evictions,blacklisted,final_bound"
+  "scenario,nodes,jobs,completed,shed,deadline,failed,retries,p50_ms,p95_ms,\
+   p99_ms,mean_ms,hit_rate,shed_rate,throughput_jobs_s,baseline_jobs_s,\
+   speedup,makespan_s,busy_s,cache_bytes_peak,cache_evictions,blacklisted,\
+   final_bound"
 
 let csv_row ~scenario r =
   let baseline, speedup =
@@ -513,12 +669,42 @@ let csv_row ~scenario r =
     | None -> ("", "")
   in
   Printf.sprintf
-    "%s,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%s,%s,%.4f,%.4f,%d,%d,%d,%d"
+    "%s,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%s,%s,%.4f,%.4f,%d,%d,%d,%d"
     scenario r.r_config.s_nodes r.r_jobs r.r_completed r.r_shed r.r_deadline
-    r.r_failed r.r_retries r.r_p50_ms r.r_p99_ms r.r_mean_ms r.r_hit_rate
-    r.r_shed_rate r.r_throughput baseline speedup r.r_makespan r.r_busy
-    r.r_cache.Cache.bytes_peak r.r_cache.Cache.evictions
+    r.r_failed r.r_retries r.r_p50_ms r.r_p95_ms r.r_p99_ms r.r_mean_ms
+    r.r_hit_rate r.r_shed_rate r.r_throughput baseline speedup r.r_makespan
+    r.r_busy r.r_cache.Cache.bytes_peak r.r_cache.Cache.evictions
     (List.length r.r_blacklisted) r.r_final_bound
+
+(* Per-tenant breakdown: the tenant counters plus latency percentiles over
+   that tenant's completed jobs (from the job log, so the export needs no
+   extra state in the engine). *)
+let tenants_csv_header =
+  "scenario,tenant,submitted,completed,shed,deadline,failed,retries,\
+   retry_budget,busy_s,p50_ms,p95_ms,p99_ms"
+
+let tenants_csv_rows ~scenario r =
+  List.map
+    (fun (tn : Tenant.t) ->
+      let lat =
+        List.filter_map
+          (fun l ->
+            match l.l_outcome with
+            | Completed resp when l.l_job.Workload.j_tenant = tn.Tenant.t_id ->
+                Some resp
+            | _ -> None)
+          r.r_log
+      in
+      let sorted = Array.of_list lat in
+      Array.sort compare sorted;
+      Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f" scenario
+        tn.Tenant.t_id tn.Tenant.submitted tn.Tenant.completed tn.Tenant.shed
+        tn.Tenant.deadline_exceeded tn.Tenant.failed tn.Tenant.retries
+        tn.Tenant.budget0 tn.Tenant.busy
+        (1e3 *. percentile sorted 0.50)
+        (1e3 *. percentile sorted 0.95)
+        (1e3 *. percentile sorted 0.99))
+    r.r_tenants
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -548,7 +734,7 @@ let pp_report fmt r =
 
 (* Convenience wrapper: build a server, serve the trace, optionally price
    the single-tenant baseline. *)
-let run ?domains ?leaf_backend ?trace ?(baseline = false) cfg w =
+let run ?domains ?leaf_backend ?trace ?scrape ?(baseline = false) cfg w =
   let t = create cfg in
-  let report = serve ?domains ?leaf_backend ?trace t w in
+  let report = serve ?domains ?leaf_backend ?trace ?scrape t w in
   if baseline then with_baseline ?domains ?leaf_backend report else report

@@ -63,6 +63,7 @@ type report = {
   r_failed : int;
   r_retries : int;
   r_p50_ms : float;
+  r_p95_ms : float;
   r_p99_ms : float;
   r_mean_ms : float;  (** over completed jobs' response times *)
   r_hit_rate : float;
@@ -89,11 +90,18 @@ val create : config -> t
 (** Serve a whole trace.  [trace] (default
     {!Spdistal_obs.Trace.null}) gets a simulated-clock job span per job on
     its tenant's track plus queue-depth/shed/cache-bytes counters — and is
-    also passed to every underlying {!Core.Spdistal.Context.run}. *)
+    also passed to every underlying {!Core.Spdistal.Context.run}.
+
+    [scrape] is ticked on the serve loop's virtual clock: at every job
+    arrival it snapshots each interval boundary the clock has crossed, and
+    at the end of the run it appends one final row at the makespan.  Because
+    ticking happens on the sequential loop, the scraped series are
+    bit-identical across [domains] whenever the run itself is. *)
 val serve :
   ?domains:int ->
   ?leaf_backend:Spdistal_exec.Compile_leaf.backend ->
   ?trace:Spdistal_obs.Trace.t ->
+  ?scrape:Spdistal_obs.Metrics.Scrape.t ->
   t ->
   Workload.t ->
   report
@@ -112,6 +120,7 @@ val run :
   ?domains:int ->
   ?leaf_backend:Spdistal_exec.Compile_leaf.backend ->
   ?trace:Spdistal_obs.Trace.t ->
+  ?scrape:Spdistal_obs.Metrics.Scrape.t ->
   ?baseline:bool ->
   config ->
   Workload.t ->
@@ -120,6 +129,17 @@ val run :
 (** {1 Rendering} *)
 
 val outcome_label : outcome -> string
+
+(** Documents the [hit_rate] denominator (shed jobs never reach the cache);
+    written above {!csv_header} in results files. *)
+val csv_comment : string
+
 val csv_header : string
 val csv_row : scenario:string -> report -> string
+
+(** Per-tenant breakdown of a report: one row per tenant with the counter
+    slice and latency percentiles over that tenant's completed jobs. *)
+val tenants_csv_header : string
+
+val tenants_csv_rows : scenario:string -> report -> string list
 val pp_report : Format.formatter -> report -> unit

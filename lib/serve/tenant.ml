@@ -10,6 +10,7 @@
    fail fast with a structured error instead of burning another slot. *)
 
 open Spdistal_runtime
+module Metrics = Spdistal_obs.Metrics
 
 type t = {
   t_id : int;
@@ -46,6 +47,12 @@ let try_retry t =
   if t.budget > 0 then begin
     t.budget <- t.budget - 1;
     t.retries <- t.retries + 1;
+    let m = Metrics.default () in
+    if Metrics.enabled m then
+      Metrics.inc m
+        ~labels:[ ("tenant", string_of_int t.t_id) ]
+        ~help:"job re-admissions spent from tenant retry budgets"
+        "spdistal_serve_retries_total";
     true
   end
   else false

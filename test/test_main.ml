@@ -38,6 +38,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("placement", Test_placement.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("cache", Test_cache.suite);
       ("golden", Test_golden.suite);
       ("cli", Test_cli.suite);
